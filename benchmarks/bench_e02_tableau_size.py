@@ -1,0 +1,62 @@
+"""E2 — CFD detection time vs. pattern-tableau size.
+
+Source shape (Fan et al., TODS): with the relation size fixed, detection
+cost grows roughly linearly with the number of pattern tuples in the CFD's
+tableau.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.constraints.cfd import merge_cfds
+from repro.datagen.customer import CustomerGenerator
+from repro.datagen.noise import inject_noise
+from repro.detection.cfd_detect import CFDDetector
+
+from conftest import print_series
+
+TABLEAU_SIZES = [1, 4, 16, 48]
+RELATION_SIZE = 4000
+
+
+def _relation():
+    generator = CustomerGenerator(seed=202)
+    clean = generator.generate(RELATION_SIZE)
+    return inject_noise(clean, rate=0.05, attributes=["street"], seed=7).dirty
+
+
+def _merged_cfd(patterns: int):
+    cfds = CustomerGenerator.extended_cfds(patterns)
+    merged = merge_cfds(cfds)
+    assert len(merged) == 1
+    return merged
+
+
+@pytest.mark.parametrize("patterns", TABLEAU_SIZES)
+def test_e02_detection_vs_tableau_size(benchmark, patterns):
+    relation = _relation()
+    cfds = _merged_cfd(patterns)
+    benchmark(lambda: CFDDetector(relation, cfds).detect())
+
+
+def test_e02_series(benchmark):
+    relation = _relation()
+
+    def compute():
+        rows = []
+        for patterns in TABLEAU_SIZES:
+            cfds = _merged_cfd(patterns)
+            started = time.perf_counter()
+            report = CFDDetector(relation, cfds).detect()
+            seconds = time.perf_counter() - started
+            rows.append([patterns, len(report), seconds])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_series("E2: detection time vs. tableau size (4000 tuples, noise 5%)",
+                 ["patterns", "violations", "seconds"], rows)
+    # shape: more patterns cover more of the data, so violations do not decrease
+    assert rows[-1][1] >= rows[0][1]

@@ -1,0 +1,79 @@
+"""E4 — incremental detection vs. full re-detection as the delta grows.
+
+Source shape: incremental maintenance wins clearly for small deltas and
+the advantage narrows as the delta approaches a large fraction of the base
+relation.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.datagen.customer import CustomerGenerator
+from repro.datagen.noise import inject_noise
+from repro.detection.incremental import IncrementalCFDDetector
+
+from conftest import print_series
+
+BASE_SIZE = 3000
+DELTA_FRACTIONS = [0.01, 0.05, 0.20, 0.50]
+
+
+def _base_and_delta(fraction: float):
+    generator = CustomerGenerator(seed=404)
+    total = int(BASE_SIZE * (1 + fraction))
+    clean = generator.generate(total)
+    dirty = inject_noise(clean, rate=0.05, attributes=["street", "city"], seed=13).dirty
+    tids = dirty.tids()
+    base = dirty.filter(lambda t: t.tid in set(tids[:BASE_SIZE]), name="customer")
+    delta_rows = [dirty.tuple(tid).as_dict() for tid in tids[BASE_SIZE:]]
+    return base, delta_rows, generator.canonical_cfds()
+
+
+@pytest.mark.parametrize("fraction", [0.01, 0.20])
+def test_e04_incremental_insertions(benchmark, fraction):
+    base, delta_rows, cfds = _base_and_delta(fraction)
+
+    def run():
+        detector = IncrementalCFDDetector(base.copy(), cfds)
+        for row in delta_rows:
+            detector.insert_tuple(row)
+        return detector
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def test_e04_series(benchmark):
+    def compute():
+        rows = []
+        for fraction in DELTA_FRACTIONS:
+            base, delta_rows, cfds = _base_and_delta(fraction)
+
+            # incremental: build once on the base (not timed), then apply the delta
+            detector = IncrementalCFDDetector(base.copy(), cfds)
+            started = time.perf_counter()
+            for row in delta_rows:
+                detector.insert_tuple(row)
+            incremental_seconds = time.perf_counter() - started
+
+            # full re-detection over base + delta
+            combined = base.copy()
+            for row in delta_rows:
+                combined.insert_dict(row)
+            started = time.perf_counter()
+            full_report = IncrementalCFDDetector(combined, cfds).current_report()
+            full_seconds = time.perf_counter() - started
+
+            assert detector.current_report().violating_tids() == full_report.violating_tids()
+            rows.append([f"{fraction:.0%}", len(delta_rows),
+                         incremental_seconds, full_seconds,
+                         full_seconds / incremental_seconds if incremental_seconds else 0.0])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_series("E4: incremental vs. full detection (base 3000 tuples)",
+                 ["delta", "inserted", "incremental_s", "full_s", "speedup"], rows)
+    # shape: incremental wins for small deltas
+    assert rows[0][4] > 1.0

@@ -1,0 +1,81 @@
+"""E7 — IncRepair vs. BatchRepair as the delta grows (crossover).
+
+Source shape (Cong et al.): repairing only the delta against a clean base
+is much cheaper for small deltas; as the delta approaches a significant
+fraction of the base, re-running the batch repair becomes competitive.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.datagen.customer import CustomerGenerator
+from repro.datagen.noise import inject_noise
+from repro.repair.batch_repair import BatchRepair
+from repro.repair.inc_repair import IncRepair
+
+from conftest import print_series
+
+BASE_SIZE = 2000
+DELTA_FRACTIONS = [0.01, 0.05, 0.20, 0.40]
+
+
+def _workload(fraction: float):
+    generator = CustomerGenerator(seed=707)
+    cfds = generator.canonical_cfds()
+    delta_size = int(BASE_SIZE * fraction)
+    clean = generator.generate(BASE_SIZE + delta_size)
+    noise = inject_noise(clean, rate=0.05, attributes=["street", "city"], seed=31)
+    dirty = noise.dirty
+    tids = dirty.tids()
+    base = dirty.filter(lambda t: t.tid in set(tids[:BASE_SIZE]), name="customer")
+    clean_base = BatchRepair(base, cfds).repair().relation
+    delta_rows = [dirty.tuple(tid).as_dict() for tid in tids[BASE_SIZE:]]
+    return clean_base, delta_rows, cfds
+
+
+@pytest.mark.parametrize("fraction", [0.01, 0.20])
+def test_e07_increpair(benchmark, fraction):
+    clean_base, delta_rows, cfds = _workload(fraction)
+
+    def run():
+        combined = clean_base.copy()
+        delta_tids = [combined.insert_dict(row) for row in delta_rows]
+        return IncRepair(combined, cfds).repair_delta(delta_tids)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_e07_series(benchmark):
+    def compute():
+        rows = []
+        for fraction in DELTA_FRACTIONS:
+            clean_base, delta_rows, cfds = _workload(fraction)
+
+            combined = clean_base.copy()
+            delta_tids = [combined.insert_dict(row) for row in delta_rows]
+            started = time.perf_counter()
+            IncRepair(combined, cfds).repair_delta(delta_tids)
+            incremental_seconds = time.perf_counter() - started
+
+            full = clean_base.copy()
+            for row in delta_rows:
+                full.insert_dict(row)
+            started = time.perf_counter()
+            BatchRepair(full, cfds).repair()
+            batch_seconds = time.perf_counter() - started
+
+            rows.append([f"{fraction:.0%}", len(delta_rows), incremental_seconds,
+                         batch_seconds,
+                         batch_seconds / incremental_seconds if incremental_seconds else 0.0])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_series("E7: IncRepair vs. BatchRepair as the delta grows (base 2000 tuples)",
+                 ["delta", "inserted", "increpair_s", "batch_s", "speedup"], rows)
+    # shape: IncRepair wins clearly on the smallest delta, and its advantage
+    # shrinks as the delta grows
+    assert rows[0][4] > 1.0
+    assert rows[-1][4] <= rows[0][4]

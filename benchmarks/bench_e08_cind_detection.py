@@ -1,0 +1,52 @@
+"""E8 — CIND violation detection scaling.
+
+Source shape (Bravo, Fan & Ma, VLDB 2007): CIND detection is a
+condition-filtered anti-join and scales roughly linearly with the number
+of tuples; the number of reported violations matches the number injected.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.datagen.orders import OrdersGenerator
+from repro.detection.cind_detect import CINDDetector
+
+from conftest import print_series
+
+SIZES = [2000, 4000, 8000, 16000]
+VIOLATION_RATE = 0.05
+
+
+def _workload(size: int):
+    generator = OrdersGenerator(seed=808)
+    database, expected = generator.generate(cd_count=size, violation_rate=VIOLATION_RATE)
+    return database, expected, [generator.canonical_cind()]
+
+
+@pytest.mark.parametrize("size", [2000, 8000])
+def test_e08_cind_detection(benchmark, size):
+    database, expected, cinds = _workload(size)
+    report = benchmark(lambda: CINDDetector(database, cinds).detect())
+    assert len(report.cind_violations()) == expected
+
+
+def test_e08_series(benchmark):
+    def compute():
+        rows = []
+        for size in SIZES:
+            database, expected, cinds = _workload(size)
+            started = time.perf_counter()
+            report = CINDDetector(database, cinds).detect()
+            seconds = time.perf_counter() - started
+            assert len(report.cind_violations()) == expected
+            rows.append([size, expected, len(report.cind_violations()), seconds])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_series("E8: CIND detection vs. number of CD tuples (violation rate 5%)",
+                 ["cd_tuples", "injected", "detected", "seconds"], rows)
+    # shape: roughly linear — 8x the data well under 32x the time
+    assert rows[-1][3] < rows[0][3] * 40

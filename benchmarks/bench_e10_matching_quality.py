@@ -1,0 +1,100 @@
+"""E10 — record-matching quality: derived RCKs vs. exact key equality.
+
+Source shape (§4 of the tutorial / Fan et al. on record matching): on
+dirty data, matching with the *derived* relative candidate keys finds
+strictly more true matches (higher recall) than requiring exact equality
+on the full attribute list, at comparable precision; blocking cuts the
+number of compared pairs dramatically without hurting quality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.cards import CardBillingGenerator
+from repro.matching.derivation import derive_rcks
+from repro.matching.evaluation import evaluate_matching
+from repro.matching.matcher import RecordMatcher
+from repro.matching.rck import RelativeCandidateKey
+from repro.matching.rules import Comparator, MatchingRule
+
+from conftest import print_series
+
+TARGET = ["fn", "ln", "addr", "phn", "email"]
+DIRTY_RATES = [0.1, 0.2, 0.3, 0.4]
+HOLDERS = 250
+
+
+def _rules():
+    return [
+        MatchingRule.build([Comparator.equality("phn")], ["addr"], name="a"),
+        MatchingRule.build([Comparator.equality("email")], ["fn", "ln"], name="b"),
+        MatchingRule.build(
+            [Comparator.equality("ln"), Comparator.equality("addr"),
+             Comparator.similar("fn", threshold=0.7)], TARGET, name="c"),
+    ]
+
+
+def _exact_key():
+    return [RelativeCandidateKey.build([Comparator.equality(a) for a in TARGET],
+                                       TARGET, name="exact")]
+
+
+def _workload(dirty_rate: float):
+    return CardBillingGenerator(seed=1010).generate(
+        holders=HOLDERS, billings_per_holder=1, dirty_rate=dirty_rate)
+
+
+@pytest.mark.parametrize("dirty_rate", [0.2, 0.4])
+def test_e10_rck_matching(benchmark, dirty_rate):
+    workload = _workload(dirty_rate)
+    rcks = derive_rcks(_rules(), TARGET)
+    matcher = RecordMatcher(workload.card, workload.billing, rcks, blocking=("ln", "ln"))
+    benchmark.pedantic(matcher.match, rounds=1, iterations=1)
+
+
+def test_e10_series_quality(benchmark):
+    def compute():
+        rcks = derive_rcks(_rules(), TARGET)
+        rows = []
+        for dirty_rate in DIRTY_RATES:
+            workload = _workload(dirty_rate)
+            exact = RecordMatcher(workload.card, workload.billing, _exact_key(),
+                                  blocking=("cno", "cno"))
+            derived = RecordMatcher(workload.card, workload.billing, rcks,
+                                    blocking=("cno", "cno"))
+            exact_quality = evaluate_matching(exact.matched_pairs(), workload.true_matches)
+            derived_quality = evaluate_matching(derived.matched_pairs(), workload.true_matches)
+            rows.append([f"{dirty_rate:.0%}",
+                         exact_quality.recall, derived_quality.recall,
+                         derived_quality.precision, derived_quality.f1])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_series("E10: match quality — exact key vs. derived RCKs",
+                 ["dirty", "recall_exact", "recall_rck", "precision_rck", "f1_rck"], rows)
+    # shape: derived RCKs recover matches exact equality misses, at high precision
+    for row in rows:
+        assert row[2] >= row[1]
+        assert row[3] > 0.9
+    assert rows[-1][2] > rows[-1][1]
+
+
+def test_e10_blocking_ablation(benchmark):
+    def compute():
+        rcks = derive_rcks(_rules(), TARGET)
+        workload = _workload(0.3)
+        rows = []
+        for label, blocking in (("none", None), ("by last name", ("ln", "ln")),
+                                ("by card number", ("cno", "cno"))):
+            matcher = RecordMatcher(workload.card, workload.billing, rcks, blocking=blocking)
+            quality = evaluate_matching(matcher.matched_pairs(), workload.true_matches)
+            rows.append([label, matcher.candidate_pairs_examined,
+                         quality.recall, quality.precision])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_series("E10 (ablation): blocking strategy (dirty rate 30%)",
+                 ["blocking", "pairs_compared", "recall", "precision"], rows)
+    # blocking examines far fewer pairs
+    assert rows[1][1] < rows[0][1]

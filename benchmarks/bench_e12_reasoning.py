@@ -1,0 +1,75 @@
+"""E12 — CFD satisfiability / implication analysis time vs. number of CFDs.
+
+Source shape (Fan et al., TODS): the static analyses stay fast for the
+constraint-set sizes used in practice (tens to a few hundred CFDs); the
+cost grows with the number of constant patterns.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.constraints.cfd import CFD
+from repro.constraints.reasoning import implies, is_satisfiable, minimal_cover
+from repro.datagen.customer import CustomerGenerator
+
+from conftest import print_series
+
+CFD_COUNTS = [10, 50, 150, 400]
+
+
+def _cfd_set(count: int) -> list[CFD]:
+    """A mixed CFD set: constant zip patterns plus a few variable CFDs."""
+    cfds = CustomerGenerator.extended_cfds(min(count, 58))
+    index = 0
+    while len(cfds) < count:
+        cfds.append(CFD.single("customer", ["cc", "zip"], ["street"],
+                               {"cc": "01", "zip": f"Z{index}"}))
+        index += 1
+    return cfds[:count]
+
+
+@pytest.mark.parametrize("count", [10, 150])
+def test_e12_satisfiability(benchmark, count):
+    cfds = _cfd_set(count)
+    assert benchmark(lambda: is_satisfiable(cfds))
+
+
+def test_e12_series(benchmark):
+    def compute():
+        rows = []
+        candidate = CFD.single("customer", ["cc", "zip"], ["street"], {"cc": "44"})
+        general = CFD.single("customer", ["cc", "zip"], ["street"])
+        for count in CFD_COUNTS:
+            cfds = _cfd_set(count)
+
+            started = time.perf_counter()
+            satisfiable = is_satisfiable(cfds)
+            satisfiability_seconds = time.perf_counter() - started
+
+            started = time.perf_counter()
+            implied = implies(cfds + [general], candidate)
+            implication_seconds = time.perf_counter() - started
+
+            assert satisfiable and implied
+            rows.append([count, satisfiability_seconds, implication_seconds])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_series("E12: CFD reasoning time vs. number of CFDs",
+                 ["cfds", "satisfiability_s", "implication_s"], rows)
+    assert rows[-1][1] < 30
+
+
+def test_e12_minimal_cover(benchmark):
+    def compute():
+        cfds = _cfd_set(40) + [CFD.single("customer", ["cc", "zip"], ["street"])]
+        cover = minimal_cover(cfds)
+        # the all-wildcard CFD subsumes every constant zip pattern on the same FD
+        assert len(cover) < len(cfds)
+        return [[len(cfds), len(cover)]]
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_series("E12 (cover): minimal cover size", ["input_cfds", "cover_size"], rows)

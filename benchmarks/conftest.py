@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every experiment E1–E12 of DESIGN.md has one module in this directory.
+Benchmarks are kept laptop-sized (thousands of tuples, not millions): the
+goal is to reproduce the *shape* of the published series — who wins, how
+cost scales, where crossovers fall — not absolute wall-clock numbers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(`-s` shows the printed series tables in addition to pytest-benchmark's
+timing table.)
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# allow running the benchmarks without installing the package
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+
+def print_series(title: str, header: list[str], rows: list[list]) -> None:
+    """Print a small fixed-width table (the series a paper figure would plot)."""
+    rendered = [[_format(cell) for cell in row] for row in rows]
+    widths = [max(len(header[i]), *(len(row[i]) for row in rendered)) if rendered else len(header[i])
+              for i in range(len(header))]
+    print()
+    print(f"== {title} ==")
+    print("  " + " | ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+    print("  " + "-+-".join("-" * w for w in widths))
+    for row in rendered:
+        print("  " + " | ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    print()
+
+
+def _format(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)

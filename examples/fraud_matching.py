@@ -1,0 +1,75 @@
+"""Object identification: matching billing records to card holders with RCKs.
+
+Section 4 of the tutorial: given ``card`` and ``billing`` records that may
+spell names and addresses differently, derive relative candidate keys
+(RCKs) from three matching rules and use them to identify which billing
+records belong to which card holder — comparing against naive exact
+matching on the full attribute list.
+
+Run with::
+
+    python examples/fraud_matching.py
+"""
+
+from repro.datagen.cards import CardBillingGenerator
+from repro.matching.derivation import derive_rcks
+from repro.matching.evaluation import evaluate_matching
+from repro.matching.matcher import RecordMatcher
+from repro.matching.rck import RelativeCandidateKey
+from repro.matching.rules import Comparator, MatchingRule
+
+TARGET = ["fn", "ln", "addr", "phn", "email"]
+
+
+def tutorial_rules() -> list[MatchingRule]:
+    """The tutorial's matching rules (a), (b) and (c)."""
+    return [
+        # (a) same phone number => same address (even if spelled differently)
+        MatchingRule.build([Comparator.equality("phn")], ["addr"], name="a"),
+        # (b) same email => same first and last name
+        MatchingRule.build([Comparator.equality("email")], ["fn", "ln"], name="b"),
+        # (c) same last name and address, similar first name => same holder
+        MatchingRule.build(
+            [Comparator.equality("ln"), Comparator.equality("addr"),
+             Comparator.similar("fn", method="jaro_winkler", threshold=0.7)],
+            TARGET, name="c"),
+    ]
+
+
+def main() -> None:
+    # 1. generate card/billing data where 35% of billing records are perturbed
+    workload = CardBillingGenerator(seed=11).generate(
+        holders=300, billings_per_holder=1, dirty_rate=0.35)
+    print(f"{len(workload.card)} card holders, {len(workload.billing)} billing records, "
+          f"{len(workload.true_matches)} true matches")
+
+    # 2. derive RCKs from the rules
+    rcks = derive_rcks(tutorial_rules(), TARGET)
+    print("derived relative candidate keys:")
+    for rck in rcks:
+        print(f"  {rck}")
+
+    # 3. baseline: exact equality on the full Y list
+    exact_key = [RelativeCandidateKey.build(
+        [Comparator.equality(a) for a in TARGET], TARGET, name="exact")]
+    exact = RecordMatcher(workload.card, workload.billing, exact_key,
+                          blocking=("cno", "cno"))
+    exact_quality = evaluate_matching(exact.matched_pairs(), workload.true_matches)
+
+    # 4. matching with the derived RCKs (same blocking)
+    derived = RecordMatcher(workload.card, workload.billing, rcks, blocking=("cno", "cno"))
+    decisions = derived.match()
+    derived_quality = evaluate_matching({d.pair for d in decisions}, workload.true_matches)
+
+    print(f"exact-key matching:   precision={exact_quality.precision:.3f} "
+          f"recall={exact_quality.recall:.3f} f1={exact_quality.f1:.3f}")
+    print(f"derived-RCK matching: precision={derived_quality.precision:.3f} "
+          f"recall={derived_quality.recall:.3f} f1={derived_quality.f1:.3f}")
+
+    print("matches contributed by each key:")
+    for key_repr, count in derived.matches_by_rck().items():
+        print(f"  {count:5d}  {key_repr}")
+
+
+if __name__ == "__main__":
+    main()

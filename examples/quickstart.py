@@ -1,0 +1,75 @@
+"""Quickstart: declare CFDs, detect violations, repair the data.
+
+Run with::
+
+    python examples/quickstart.py
+
+The example reproduces the two CFDs of the paper's Section 3 on a tiny
+customer relation, shows the violations they catch, and repairs them.
+"""
+
+from repro import Relation, RelationSchema, SemandaqSession, detect_violations, repair
+
+CUSTOMER_SCHEMA = RelationSchema("customer", [
+    "cc", "ac", "phn", "name", "street", "city", "zip",
+])
+
+# a small, visibly dirty customer relation
+ROWS = [
+    # UK customers: within cc=44, zip should determine street (and city)
+    {"cc": "44", "ac": "131", "phn": "5551111", "name": "mike",
+     "street": "mayfield road", "city": "edi", "zip": "EH8 9AB"},
+    {"cc": "44", "ac": "131", "phn": "5552222", "name": "rick",
+     "street": "mayfield road", "city": "edi", "zip": "EH8 9AB"},
+    {"cc": "44", "ac": "131", "phn": "5553333", "name": "joe",
+     "street": "crichton street", "city": "ldn", "zip": "EH8 9AB"},   # dirty
+    # US customers: area code 908 is Murray Hill ('mh')
+    {"cc": "01", "ac": "908", "phn": "5554444", "name": "mary",
+     "street": "mountain ave", "city": "mh", "zip": "07974"},
+    {"cc": "01", "ac": "908", "phn": "5555555", "name": "anna",
+     "street": "mountain ave", "city": "nyc", "zip": "07974"},        # dirty
+]
+
+# the paper's CFDs, in the library's textual syntax
+CFDS = [
+    "customer([cc='44', zip] -> [street])",
+    "customer([cc='44', zip] -> [city])",
+    "customer([cc='01', ac='908', phn] -> [street, city='mh', zip])",
+]
+
+
+def main() -> None:
+    relation = Relation.from_dicts(CUSTOMER_SCHEMA, ROWS)
+    print("input relation:")
+    print(relation.pretty())
+    print()
+
+    # 1. detect violations
+    report = detect_violations(relation, cfds=CFDS)
+    print(report.summary())
+    for violation in report:
+        print(f"  violation of {violation.cfd.name or violation.cfd!r} "
+              f"by tuples {list(violation.tids)}")
+    print()
+
+    # 2. repair at minimal cost
+    result = repair(relation, CFDS)
+    print(result.summary())
+    for change in result.changes:
+        print(f"  t{change.tid}.{change.attribute}: "
+              f"{change.old_value!r} -> {change.new_value!r}")
+    print()
+    print("repaired relation:")
+    print(result.relation.pretty())
+    print()
+
+    # 3. the same workflow through the Semandaq session (detect -> repair -> report)
+    session = SemandaqSession(Relation.from_dicts(CUSTOMER_SCHEMA, ROWS))
+    session.register_cfds("\n".join(CFDS))
+    session.detect()
+    session.apply_repair("customer")
+    print(session.report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so that ``pip install -e .`` works offline (legacy editable install).
+
+The environment has no network access and no ``wheel`` package, so the
+PEP 660 editable path (which builds a wheel) is unavailable; keeping a
+``setup.py`` lets pip fall back to ``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

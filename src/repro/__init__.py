@@ -1,0 +1,84 @@
+"""repro — constraint-based data cleaning.
+
+A from-scratch reproduction of the systems surveyed in *"A Revival of
+Integrity Constraints for Data Cleaning"* (Fan, Geerts, Jia — VLDB 2008):
+conditional functional dependencies (CFDs), conditional inclusion
+dependencies (CINDs), extended CFDs, SQL-based violation detection,
+minimal-cost repairing, relative candidate keys for record matching,
+constraint discovery, consistent query answering and the Semandaq
+prototype — all on top of a small, self-contained in-memory relational
+engine.
+
+Quick start::
+
+    from repro import CFD, Relation, RelationSchema, detect_violations, repair
+
+See ``examples/quickstart.py`` for a complete walk-through.
+"""
+
+from repro.constraints import (
+    CFD,
+    CIND,
+    ECFD,
+    FunctionalDependency,
+    InclusionDependency,
+    parse_cfd,
+    parse_cfds,
+    parse_cind,
+    parse_fd,
+)
+from repro.core import (
+    CleaningPipeline,
+    PipelineResult,
+    detect_violations,
+    discover_cfds,
+    match_records,
+    repair,
+)
+from repro.relational import (
+    Attribute,
+    AttributeType,
+    Database,
+    Relation,
+    RelationSchema,
+    SQLEngine,
+    read_csv,
+)
+from repro.repair import BatchRepair, CostModel, IncRepair, evaluate_repair
+from repro.semandaq import SemandaqSession
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # relational substrate
+    "Attribute",
+    "AttributeType",
+    "RelationSchema",
+    "Relation",
+    "Database",
+    "SQLEngine",
+    "read_csv",
+    # constraints
+    "CFD",
+    "CIND",
+    "ECFD",
+    "FunctionalDependency",
+    "InclusionDependency",
+    "parse_fd",
+    "parse_cfd",
+    "parse_cfds",
+    "parse_cind",
+    # cleaning API
+    "CleaningPipeline",
+    "PipelineResult",
+    "detect_violations",
+    "repair",
+    "discover_cfds",
+    "match_records",
+    "BatchRepair",
+    "IncRepair",
+    "CostModel",
+    "evaluate_repair",
+    "SemandaqSession",
+]

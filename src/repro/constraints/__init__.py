@@ -1,0 +1,52 @@
+"""Constraint formalisms for data cleaning.
+
+This package implements the dependency classes discussed in the tutorial:
+
+* classical functional dependencies (:mod:`repro.constraints.fd`) and
+  inclusion dependencies (:mod:`repro.constraints.ind`),
+* conditional functional dependencies — CFDs — with pattern tableaux
+  (:mod:`repro.constraints.cfd`, :mod:`repro.constraints.tableau`),
+* conditional inclusion dependencies — CINDs (:mod:`repro.constraints.cind`),
+* extended CFDs with disjunction and negation — eCFDs
+  (:mod:`repro.constraints.ecfd`),
+* a textual syntax for all of the above (:mod:`repro.constraints.parse`),
+* static analyses: satisfiability, implication and minimal cover
+  (:mod:`repro.constraints.reasoning`), and
+* the violation data model shared with the detection and repair packages
+  (:mod:`repro.constraints.violations`).
+"""
+
+from repro.constraints.tableau import Pattern, PatternTuple, UNDERSCORE, is_wildcard
+from repro.constraints.fd import FunctionalDependency
+from repro.constraints.ind import InclusionDependency
+from repro.constraints.cfd import CFD
+from repro.constraints.cind import CIND
+from repro.constraints.ecfd import ECFD, AttributeCondition
+from repro.constraints.parse import parse_cfd, parse_cfds, parse_cind, parse_fd
+from repro.constraints.violations import (
+    CFDViolation,
+    CINDViolation,
+    Violation,
+    ViolationReport,
+)
+
+__all__ = [
+    "Pattern",
+    "PatternTuple",
+    "UNDERSCORE",
+    "is_wildcard",
+    "FunctionalDependency",
+    "InclusionDependency",
+    "CFD",
+    "CIND",
+    "ECFD",
+    "AttributeCondition",
+    "parse_cfd",
+    "parse_cfds",
+    "parse_cind",
+    "parse_fd",
+    "CFDViolation",
+    "CINDViolation",
+    "Violation",
+    "ViolationReport",
+]

@@ -1,0 +1,123 @@
+"""Conditional inclusion dependencies (CINDs), following Bravo, Fan & Ma (VLDB 2007).
+
+A CIND ``ψ = (R1[X; Xp] ⊆ R2[Y; Yp], Tp)`` extends an IND ``R1[X] ⊆ R2[Y]``
+with pattern attributes: ``Xp`` are attributes of ``R1`` whose values must
+match the pattern (the *condition*), and ``Yp`` are attributes of ``R2``
+that must carry the pattern's constants in the matching tuple (the
+*consequence*).  The tutorial's example is::
+
+    (CD(album, price; genre='a-book') ⊆ book(title, price; format='audio'))
+
+i.e. every CD tuple whose genre is ``a-book`` must have a book tuple with
+the same (title, price) whose format is ``audio``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ConstraintError
+from repro.constraints.tableau import PatternTuple
+from repro.relational.database import Database
+from repro.relational.types import is_null
+
+
+class CIND:
+    """A conditional inclusion dependency."""
+
+    def __init__(self, lhs_relation: str, lhs_attributes: Sequence[str],
+                 rhs_relation: str, rhs_attributes: Sequence[str],
+                 lhs_pattern: Mapping[str, Any] | PatternTuple | None = None,
+                 rhs_pattern: Mapping[str, Any] | PatternTuple | None = None,
+                 name: str | None = None) -> None:
+        if len(lhs_attributes) != len(rhs_attributes):
+            raise ConstraintError(
+                "a CIND needs the same number of correspondence attributes on both sides")
+        if not lhs_attributes:
+            raise ConstraintError("a CIND needs at least one correspondence attribute")
+        self.lhs_relation = lhs_relation
+        self.rhs_relation = rhs_relation
+        self.lhs_attributes = tuple(a.lower() for a in lhs_attributes)
+        self.rhs_attributes = tuple(a.lower() for a in rhs_attributes)
+        self.lhs_pattern = _as_pattern(lhs_pattern)
+        self.rhs_pattern = _as_pattern(rhs_pattern)
+        self.name = name
+
+        lhs_overlap = set(self.lhs_pattern.attributes()) & set(self.lhs_attributes)
+        if lhs_overlap:
+            raise ConstraintError(
+                f"pattern attributes {sorted(lhs_overlap)} overlap the correspondence "
+                f"attributes of {lhs_relation!r}")
+        rhs_overlap = set(self.rhs_pattern.attributes()) & set(self.rhs_attributes)
+        if rhs_overlap:
+            raise ConstraintError(
+                f"pattern attributes {sorted(rhs_overlap)} overlap the correspondence "
+                f"attributes of {rhs_relation!r}")
+
+    # -- structure -------------------------------------------------------------
+
+    def validate_against(self, database: Database) -> None:
+        """Check relations and attributes exist in *database*."""
+        left = database.relation(self.lhs_relation)
+        right = database.relation(self.rhs_relation)
+        for attribute in list(self.lhs_attributes) + self.lhs_pattern.attributes():
+            if not left.schema.has_attribute(attribute):
+                raise ConstraintError(
+                    f"CIND {self} uses unknown attribute {attribute!r} of {self.lhs_relation!r}")
+        for attribute in list(self.rhs_attributes) + self.rhs_pattern.attributes():
+            if not right.schema.has_attribute(attribute):
+                raise ConstraintError(
+                    f"CIND {self} uses unknown attribute {attribute!r} of {self.rhs_relation!r}")
+
+    def is_standard_ind(self) -> bool:
+        """Whether the CIND degenerates to a classical IND (no constants)."""
+        return not self.lhs_pattern.constants() and not self.rhs_pattern.constants()
+
+    # -- semantics ----------------------------------------------------------------
+
+    def applies_to(self, row) -> bool:
+        """Whether an LHS tuple matches the condition pattern."""
+        return self.lhs_pattern.matches(row)
+
+    def rhs_satisfied_by(self, row) -> bool:
+        """Whether an RHS tuple carries the consequence pattern's constants."""
+        return self.rhs_pattern.matches(row)
+
+    def holds_on(self, database: Database) -> bool:
+        """Whether *database* satisfies this CIND (delegates to the detector)."""
+        from repro.detection.cind_detect import CINDDetector
+
+        return CINDDetector(database, [self]).detect().is_clean()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CIND):
+            return NotImplemented
+        return (
+            self.lhs_relation.lower(), self.lhs_attributes, self.lhs_pattern,
+            self.rhs_relation.lower(), self.rhs_attributes, self.rhs_pattern,
+        ) == (
+            other.lhs_relation.lower(), other.lhs_attributes, other.lhs_pattern,
+            other.rhs_relation.lower(), other.rhs_attributes, other.rhs_pattern,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.lhs_relation.lower(), self.lhs_attributes, self.lhs_pattern,
+                     self.rhs_relation.lower(), self.rhs_attributes, self.rhs_pattern))
+
+    def __repr__(self) -> str:
+        def side(relation: str, attributes: tuple[str, ...], pattern: PatternTuple) -> str:
+            constants = pattern.constants()
+            condition = "; " + ", ".join(f"{a}={v!r}" for a, v in constants.items()) if constants else ""
+            return f"{relation}({', '.join(attributes)}{condition})"
+
+        label = f"{self.name}: " if self.name else ""
+        return (f"{label}{side(self.lhs_relation, self.lhs_attributes, self.lhs_pattern)} ⊆ "
+                f"{side(self.rhs_relation, self.rhs_attributes, self.rhs_pattern)}")
+
+
+def _as_pattern(pattern: Mapping[str, Any] | PatternTuple | None) -> PatternTuple:
+    if pattern is None:
+        return PatternTuple({})
+    if isinstance(pattern, PatternTuple):
+        return pattern
+    return PatternTuple(pattern)

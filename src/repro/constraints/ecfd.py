@@ -1,0 +1,205 @@
+"""Extended CFDs (eCFDs): disjunction and negation in patterns.
+
+Bravo et al. (ICDE 2008, reference [3] of the tutorial) extend CFD
+patterns from single constants to **sets** of allowed values and their
+complements, without increasing the complexity of the associated static
+analyses.  An :class:`AttributeCondition` captures one such cell:
+
+* ``AttributeCondition.any()``          — the unnamed variable ``_``;
+* ``AttributeCondition.one_of({a, b})`` — value must be in the set
+  (disjunction);
+* ``AttributeCondition.none_of({a})``   — value must be outside the set
+  (negation).
+
+An :class:`ECFD` is then an embedded FD plus a tableau of such
+conditions.  Plain CFDs embed into eCFDs via :meth:`ECFD.from_cfd`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import ConstraintError
+from repro.constraints.cfd import CFD
+from repro.constraints.tableau import is_wildcard
+from repro.relational.relation import Relation
+from repro.relational.types import is_null
+
+
+@dataclass(frozen=True)
+class AttributeCondition:
+    """A generalized pattern cell: wildcard, value-set, or negated value-set."""
+
+    values: frozenset[str]
+    negated: bool = False
+    wildcard: bool = False
+
+    @classmethod
+    def any(cls) -> "AttributeCondition":
+        """The unnamed variable: every value (including NULL) is allowed."""
+        return cls(frozenset(), wildcard=True)
+
+    @classmethod
+    def one_of(cls, values: Iterable[Any]) -> "AttributeCondition":
+        """Value must be one of *values* (disjunction of constants)."""
+        frozen = frozenset(str(v) for v in values)
+        if not frozen:
+            raise ConstraintError("one_of() requires at least one value")
+        return cls(frozen, negated=False)
+
+    @classmethod
+    def none_of(cls, values: Iterable[Any]) -> "AttributeCondition":
+        """Value must NOT be any of *values* (negation)."""
+        frozen = frozenset(str(v) for v in values)
+        if not frozen:
+            raise ConstraintError("none_of() requires at least one value")
+        return cls(frozen, negated=True)
+
+    @classmethod
+    def equals(cls, value: Any) -> "AttributeCondition":
+        """Value must equal a single constant (plain CFD cell)."""
+        return cls.one_of([value])
+
+    def is_wildcard(self) -> bool:
+        return self.wildcard
+
+    def accepts(self, value: Any) -> bool:
+        """Whether a data value satisfies this condition (NULL only matches ``_``)."""
+        if self.wildcard:
+            return True
+        if is_null(value):
+            return False
+        inside = str(value) in self.values
+        return not inside if self.negated else inside
+
+    def __repr__(self) -> str:
+        if self.wildcard:
+            return "_"
+        rendered = "{" + ", ".join(sorted(self.values)) + "}"
+        return f"not {rendered}" if self.negated else rendered
+
+
+class ECFDPattern:
+    """One tableau row of an eCFD: attribute → :class:`AttributeCondition`."""
+
+    __slots__ = ("_cells",)
+
+    def __init__(self, cells: Mapping[str, AttributeCondition]) -> None:
+        self._cells = {attribute.lower(): condition for attribute, condition in cells.items()}
+
+    def condition(self, attribute: str) -> AttributeCondition:
+        return self._cells.get(attribute.lower(), AttributeCondition.any())
+
+    def attributes(self) -> list[str]:
+        return list(self._cells.keys())
+
+    def matches(self, row, attributes: Iterable[str]) -> bool:
+        """Whether *row* satisfies every condition on *attributes*."""
+        return all(self.condition(a).accepts(row[a]) for a in attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ECFDPattern):
+            return NotImplemented
+        return self._cells == other._cells
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._cells.items()))
+
+    def __repr__(self) -> str:
+        cells = ", ".join(f"{a}∈{c!r}" for a, c in self._cells.items())
+        return f"ECFDPattern({cells})"
+
+
+class ECFD:
+    """An extended CFD: embedded FD + tableau of generalized conditions.
+
+    Semantics: for every pattern and every pair of tuples matching the
+    LHS conditions and agreeing on the LHS attributes, the tuples must
+    agree on the RHS attributes and satisfy the RHS conditions.
+    """
+
+    def __init__(self, relation_name: str, lhs: Sequence[str], rhs: Sequence[str],
+                 patterns: Sequence[ECFDPattern | Mapping[str, AttributeCondition]] | None = None,
+                 name: str | None = None) -> None:
+        if not lhs or not rhs:
+            raise ConstraintError("an eCFD needs LHS and RHS attributes")
+        self.relation_name = relation_name
+        self.lhs = tuple(a.lower() for a in lhs)
+        self.rhs = tuple(a.lower() for a in rhs)
+        self.name = name
+        normalized: list[ECFDPattern] = []
+        for pattern in (patterns or [ECFDPattern({})]):
+            if isinstance(pattern, ECFDPattern):
+                normalized.append(pattern)
+            else:
+                normalized.append(ECFDPattern(pattern))
+        self.tableau = tuple(normalized)
+
+    @classmethod
+    def from_cfd(cls, cfd: CFD) -> "ECFD":
+        """Embed a plain CFD as an eCFD (constants become singleton sets)."""
+        patterns = []
+        for pattern in cfd.tableau:
+            cells: dict[str, AttributeCondition] = {}
+            for attribute in cfd.attributes():
+                value = pattern.pattern(attribute)
+                if is_wildcard(value):
+                    cells[attribute] = AttributeCondition.any()
+                else:
+                    cells[attribute] = AttributeCondition.equals(value)
+            patterns.append(ECFDPattern(cells))
+        return cls(cfd.relation_name, list(cfd.lhs), list(cfd.rhs), patterns, name=cfd.name)
+
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(self.lhs + self.rhs))
+
+    def validate_against(self, relation: Relation) -> None:
+        for attribute in self.attributes():
+            if not relation.schema.has_attribute(attribute):
+                raise ConstraintError(
+                    f"eCFD {self} uses unknown attribute {attribute!r} of {relation.name!r}")
+
+    # -- semantics ---------------------------------------------------------------
+
+    def violations(self, relation: Relation) -> list[tuple[int, ...]]:
+        """Violating tuples: singletons ``(tid,)`` for RHS-condition failures,
+        pairs ``(tid1, tid2)`` for agreement failures."""
+        self.validate_against(relation)
+        found: list[tuple[int, ...]] = []
+        seen_pairs: set[tuple[int, int]] = set()
+        for pattern in self.tableau:
+            groups: dict[tuple, list] = {}
+            for row in relation:
+                if not pattern.matches(row, self.lhs):
+                    continue
+                # single-tuple check: RHS conditions that are not wildcards
+                rhs_conditions = [a for a in self.rhs if not pattern.condition(a).is_wildcard()]
+                if rhs_conditions and not pattern.matches(row, rhs_conditions):
+                    found.append((row.tid,))
+                groups.setdefault(row.project(list(self.lhs)), []).append(row)
+            for rows in groups.values():
+                by_rhs: dict[tuple, list[int]] = {}
+                for row in rows:
+                    by_rhs.setdefault(row.project(list(self.rhs)), []).append(row.tid)
+                if len(by_rhs) <= 1:
+                    continue
+                buckets = list(by_rhs.values())
+                for i, bucket in enumerate(buckets):
+                    for other in buckets[i + 1:]:
+                        for tid_a in bucket:
+                            for tid_b in other:
+                                pair = (min(tid_a, tid_b), max(tid_a, tid_b))
+                                if pair not in seen_pairs:
+                                    seen_pairs.add(pair)
+                                    found.append(pair)
+        return found
+
+    def holds_on(self, relation: Relation) -> bool:
+        """Whether *relation* satisfies this eCFD."""
+        return not self.violations(relation)
+
+    def __repr__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        return (f"{label}{self.relation_name}: [{', '.join(self.lhs)}] -> "
+                f"[{', '.join(self.rhs)}] with {len(self.tableau)} extended pattern(s)")

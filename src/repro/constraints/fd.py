@@ -1,0 +1,160 @@
+"""Classical functional dependencies (FDs).
+
+An FD ``R: X → Y`` requires any two tuples of ``R`` agreeing on the
+attributes ``X`` to also agree on ``Y``.  FDs are both a baseline for the
+conditional formalisms and the target language of the discovery module.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ConstraintError
+from repro.relational.index import HashIndex
+from repro.relational.relation import Relation
+from repro.relational.types import is_null
+
+
+class FunctionalDependency:
+    """``relation: lhs → rhs`` over attribute name lists."""
+
+    def __init__(self, relation_name: str, lhs: Sequence[str], rhs: Sequence[str]) -> None:
+        if not relation_name:
+            raise ConstraintError("an FD needs a relation name")
+        if not lhs:
+            raise ConstraintError("an FD needs at least one LHS attribute")
+        if not rhs:
+            raise ConstraintError("an FD needs at least one RHS attribute")
+        self.relation_name = relation_name
+        self.lhs = tuple(dict.fromkeys(a.lower() for a in lhs))
+        self.rhs = tuple(dict.fromkeys(a.lower() for a in rhs))
+        overlap = set(self.lhs) & set(self.rhs)
+        if overlap:
+            self.rhs = tuple(a for a in self.rhs if a not in overlap)
+            if not self.rhs:
+                raise ConstraintError("FD right-hand side is contained in its left-hand side")
+
+    # -- structure ----------------------------------------------------------
+
+    def attributes(self) -> tuple[str, ...]:
+        """All attributes mentioned by the FD."""
+        return tuple(dict.fromkeys(self.lhs + self.rhs))
+
+    def decompose(self) -> list["FunctionalDependency"]:
+        """Equivalent FDs with a single RHS attribute each."""
+        return [FunctionalDependency(self.relation_name, self.lhs, [a]) for a in self.rhs]
+
+    def validate_against(self, relation: Relation) -> None:
+        """Raise :class:`ConstraintError` if an attribute is missing from *relation*."""
+        for attribute in self.attributes():
+            if not relation.schema.has_attribute(attribute):
+                raise ConstraintError(
+                    f"FD {self} refers to unknown attribute {attribute!r} of {relation.name!r}"
+                )
+
+    # -- semantics ------------------------------------------------------------
+
+    def holds_on(self, relation: Relation, treat_null_as_value: bool = True) -> bool:
+        """Whether the FD is satisfied by *relation*.
+
+        With ``treat_null_as_value=False`` tuples containing a NULL in the
+        LHS are skipped (they can never witness a violation).
+        """
+        self.validate_against(relation)
+        index = HashIndex(relation, list(self.lhs))
+        rhs = list(self.rhs)
+        for key, tids in index.groups():
+            if not treat_null_as_value and any(is_null(v) for v in key):
+                continue
+            seen = None
+            for tid in tids:
+                values = relation.tuple(tid).project(rhs)
+                if seen is None:
+                    seen = values
+                elif values != seen:
+                    return False
+        return True
+
+    def violating_pairs(self, relation: Relation) -> list[tuple[int, int]]:
+        """All (tid, tid) pairs violating the FD (each unordered pair once)."""
+        self.validate_against(relation)
+        index = HashIndex(relation, list(self.lhs))
+        rhs = list(self.rhs)
+        pairs: list[tuple[int, int]] = []
+        for _, tids in index.groups():
+            by_rhs: dict[tuple, list[int]] = {}
+            for tid in sorted(tids):
+                by_rhs.setdefault(relation.tuple(tid).project(rhs), []).append(tid)
+            if len(by_rhs) <= 1:
+                continue
+            groups = list(by_rhs.values())
+            for i, group in enumerate(groups):
+                for other in groups[i + 1:]:
+                    for tid_a in group:
+                        for tid_b in other:
+                            pairs.append((min(tid_a, tid_b), max(tid_a, tid_b)))
+        return pairs
+
+    # -- dunder ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FunctionalDependency):
+            return NotImplemented
+        return (self.relation_name.lower(), set(self.lhs), set(self.rhs)) == (
+            other.relation_name.lower(), set(other.lhs), set(other.rhs))
+
+    def __hash__(self) -> int:
+        return hash((self.relation_name.lower(), frozenset(self.lhs), frozenset(self.rhs)))
+
+    def __repr__(self) -> str:
+        return f"{self.relation_name}: [{', '.join(self.lhs)}] -> [{', '.join(self.rhs)}]"
+
+
+def closure(attributes: Iterable[str], fds: Sequence[FunctionalDependency]) -> set[str]:
+    """Attribute closure of *attributes* under classical FDs (Armstrong rules)."""
+    result = {a.lower() for a in attributes}
+    changed = True
+    while changed:
+        changed = False
+        for fd in fds:
+            if set(fd.lhs) <= result and not set(fd.rhs) <= result:
+                result |= set(fd.rhs)
+                changed = True
+    return result
+
+
+def implies(fds: Sequence[FunctionalDependency], candidate: FunctionalDependency) -> bool:
+    """Classical FD implication via attribute closure."""
+    relevant = [fd for fd in fds if fd.relation_name.lower() == candidate.relation_name.lower()]
+    return set(candidate.rhs) <= closure(candidate.lhs, relevant)
+
+
+def minimal_cover(fds: Sequence[FunctionalDependency]) -> list[FunctionalDependency]:
+    """A minimal cover of *fds*: singleton RHS, no redundant FDs, reduced LHS."""
+    singletons: list[FunctionalDependency] = []
+    for fd in fds:
+        singletons.extend(fd.decompose())
+
+    # remove extraneous LHS attributes
+    reduced: list[FunctionalDependency] = []
+    for fd in singletons:
+        lhs = list(fd.lhs)
+        for attribute in list(lhs):
+            if len(lhs) == 1:
+                break
+            trial = [a for a in lhs if a != attribute]
+            if implies(singletons, FunctionalDependency(fd.relation_name, trial, fd.rhs)):
+                lhs = trial
+        reduced.append(FunctionalDependency(fd.relation_name, lhs, fd.rhs))
+
+    # drop redundant FDs
+    cover = list(dict.fromkeys(reduced))
+    index = 0
+    while index < len(cover):
+        candidate = cover[index]
+        rest = cover[:index] + cover[index + 1:]
+        if implies(rest, candidate):
+            cover = rest
+        else:
+            index += 1
+    return cover

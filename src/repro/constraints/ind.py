@@ -1,0 +1,85 @@
+"""Classical inclusion dependencies (INDs).
+
+An IND ``R1[X] ⊆ R2[Y]`` requires every combination of ``X`` values in
+``R1`` to appear as a combination of ``Y`` values in ``R2``.  INDs are the
+base formalism that CINDs extend with pattern tableaux.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConstraintError
+from repro.relational.database import Database
+from repro.relational.types import is_null
+
+
+class InclusionDependency:
+    """``lhs_relation[lhs_attributes] ⊆ rhs_relation[rhs_attributes]``."""
+
+    def __init__(self, lhs_relation: str, lhs_attributes: Sequence[str],
+                 rhs_relation: str, rhs_attributes: Sequence[str]) -> None:
+        if not lhs_attributes or not rhs_attributes:
+            raise ConstraintError("an IND needs attributes on both sides")
+        if len(lhs_attributes) != len(rhs_attributes):
+            raise ConstraintError("an IND needs the same number of attributes on both sides")
+        self.lhs_relation = lhs_relation
+        self.rhs_relation = rhs_relation
+        self.lhs_attributes = tuple(a.lower() for a in lhs_attributes)
+        self.rhs_attributes = tuple(a.lower() for a in rhs_attributes)
+
+    def validate_against(self, database: Database) -> None:
+        """Check both relations and all attributes exist in *database*."""
+        left = database.relation(self.lhs_relation)
+        right = database.relation(self.rhs_relation)
+        for attribute in self.lhs_attributes:
+            if not left.schema.has_attribute(attribute):
+                raise ConstraintError(f"IND {self} uses unknown attribute {attribute!r} "
+                                      f"of {self.lhs_relation!r}")
+        for attribute in self.rhs_attributes:
+            if not right.schema.has_attribute(attribute):
+                raise ConstraintError(f"IND {self} uses unknown attribute {attribute!r} "
+                                      f"of {self.rhs_relation!r}")
+
+    def holds_on(self, database: Database) -> bool:
+        """Whether the IND is satisfied (tuples with NULL key values are skipped)."""
+        return not self.violating_tids(database)
+
+    def violating_tids(self, database: Database) -> list[int]:
+        """Tuple ids of the LHS relation that have no RHS partner."""
+        self.validate_against(database)
+        left = database.relation(self.lhs_relation)
+        right = database.relation(self.rhs_relation)
+        right_keys = set()
+        for row in right:
+            key = row.project(list(self.rhs_attributes))
+            if any(is_null(v) for v in key):
+                continue
+            right_keys.add(tuple(str(v) for v in key))
+        violations = []
+        for row in left:
+            key = row.project(list(self.lhs_attributes))
+            if any(is_null(v) for v in key):
+                continue
+            if tuple(str(v) for v in key) not in right_keys:
+                violations.append(row.tid)
+        return violations
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, InclusionDependency):
+            return NotImplemented
+        return (
+            self.lhs_relation.lower(), self.lhs_attributes,
+            self.rhs_relation.lower(), self.rhs_attributes,
+        ) == (
+            other.lhs_relation.lower(), other.lhs_attributes,
+            other.rhs_relation.lower(), other.rhs_attributes,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.lhs_relation.lower(), self.lhs_attributes,
+                     self.rhs_relation.lower(), self.rhs_attributes))
+
+    def __repr__(self) -> str:
+        return (f"{self.lhs_relation}[{', '.join(self.lhs_attributes)}] ⊆ "
+                f"{self.rhs_relation}[{', '.join(self.rhs_attributes)}]")

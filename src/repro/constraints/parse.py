@@ -1,0 +1,159 @@
+"""Textual syntax for constraints, mirroring the notation of the paper.
+
+Examples accepted by the parser::
+
+    # classical FD
+    customer: [cc, zip] -> [street]
+
+    # CFDs (constants condition the dependency; bare attributes are wildcards)
+    customer([cc='44', zip] -> [street])
+    customer([cc='01', ac='908', phn] -> [street, city='mh', zip])
+
+    # CIND (condition after ';' on each side)
+    CD(album, price; genre='a-book') SUBSET book(title, price; format='audio')
+
+Constants may be single-quoted or bare (``cc=44``); the explicit wildcard
+``_`` is also accepted (``zip=_`` ≡ ``zip``).  ``parse_cfds`` reads a
+multi-line text, ignoring blank lines and ``#`` comments.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.errors import ConstraintParseError
+from repro.constraints.cfd import CFD
+from repro.constraints.cind import CIND
+from repro.constraints.fd import FunctionalDependency
+from repro.constraints.tableau import UNDERSCORE, PatternTuple
+
+_FD_RE = re.compile(r"^\s*(?P<relation>[\w.]+)\s*:\s*\[(?P<lhs>[^\]]*)\]\s*->\s*\[(?P<rhs>[^\]]*)\]\s*$")
+_CFD_RE = re.compile(r"^\s*(?P<relation>[\w.]+)\s*\(\s*\[(?P<lhs>[^\]]*)\]\s*->\s*\[(?P<rhs>[^\]]*)\]\s*\)\s*$")
+_CIND_SPLIT_RE = re.compile(r"\s*(?:⊆|SUBSETOF|SUBSET|<=)\s*", re.IGNORECASE)
+_CIND_SIDE_RE = re.compile(r"^\s*(?P<relation>[\w.]+)\s*\(\s*(?P<body>.*)\s*\)\s*$")
+
+
+def _parse_constant(text: str) -> Any:
+    text = text.strip()
+    if text == "_" or text == "":
+        return UNDERSCORE
+    if text.startswith("'") and text.endswith("'") and len(text) >= 2:
+        return text[1:-1].replace("''", "'")
+    if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+        return text[1:-1]
+    return text
+
+
+def _split_items(text: str) -> list[str]:
+    """Split on commas that are not inside quotes."""
+    items: list[str] = []
+    current: list[str] = []
+    in_quote: str | None = None
+    for char in text:
+        if in_quote:
+            current.append(char)
+            if char == in_quote:
+                in_quote = None
+            continue
+        if char in ("'", '"'):
+            in_quote = char
+            current.append(char)
+            continue
+        if char == ",":
+            items.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if current:
+        items.append("".join(current))
+    return [item.strip() for item in items if item.strip()]
+
+
+def _parse_attribute_list(text: str, where: str) -> tuple[list[str], dict[str, Any]]:
+    """Parse ``a, b='x', c=_`` into (attribute order, pattern constants)."""
+    attributes: list[str] = []
+    pattern: dict[str, Any] = {}
+    for item in _split_items(text):
+        if "=" in item:
+            attribute, _, value = item.partition("=")
+            attribute = attribute.strip()
+            constant = _parse_constant(value)
+        else:
+            attribute = item.strip()
+            constant = UNDERSCORE
+        if not re.fullmatch(r"[\w.]+", attribute or ""):
+            raise ConstraintParseError(f"bad attribute {item!r} in {where}")
+        attributes.append(attribute)
+        pattern[attribute] = constant
+    if not attributes:
+        raise ConstraintParseError(f"empty attribute list in {where}")
+    return attributes, pattern
+
+
+def parse_fd(text: str) -> FunctionalDependency:
+    """Parse a classical FD of the form ``relation: [a, b] -> [c]``."""
+    match = _FD_RE.match(text)
+    if not match:
+        raise ConstraintParseError(f"cannot parse FD: {text!r}")
+    lhs, _ = _parse_attribute_list(match.group("lhs"), text)
+    rhs, _ = _parse_attribute_list(match.group("rhs"), text)
+    return FunctionalDependency(match.group("relation"), lhs, rhs)
+
+
+def parse_cfd(text: str, name: str | None = None) -> CFD:
+    """Parse a CFD of the form ``relation([x1='c', x2] -> [y1, y2='c'])``."""
+    match = _CFD_RE.match(text)
+    if not match:
+        # allow the FD syntax as a CFD with the all-wildcard pattern
+        fd_match = _FD_RE.match(text)
+        if fd_match:
+            return CFD.from_fd(parse_fd(text), name=name)
+        raise ConstraintParseError(f"cannot parse CFD: {text!r}")
+    lhs, lhs_pattern = _parse_attribute_list(match.group("lhs"), text)
+    rhs, rhs_pattern = _parse_attribute_list(match.group("rhs"), text)
+    pattern = dict(lhs_pattern)
+    pattern.update(rhs_pattern)
+    return CFD(match.group("relation"), lhs, rhs, [PatternTuple(pattern)], name=name)
+
+
+def parse_cfds(text: str) -> list[CFD]:
+    """Parse a multi-line block of CFDs (blank lines and ``#`` comments ignored)."""
+    cfds: list[CFD] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            cfds.append(parse_cfd(line))
+        except ConstraintParseError as exc:
+            raise ConstraintParseError(f"line {line_number}: {exc}") from exc
+    return cfds
+
+
+def parse_cind(text: str, name: str | None = None) -> CIND:
+    """Parse a CIND like ``CD(album, price; genre='a-book') SUBSET book(title, price; format='audio')``."""
+    sides = _CIND_SPLIT_RE.split(text)
+    if len(sides) != 2:
+        raise ConstraintParseError(f"cannot parse CIND (missing SUBSET/⊆): {text!r}")
+    lhs_relation, lhs_attrs, lhs_pattern = _parse_cind_side(sides[0], text)
+    rhs_relation, rhs_attrs, rhs_pattern = _parse_cind_side(sides[1], text)
+    return CIND(lhs_relation, lhs_attrs, rhs_relation, rhs_attrs,
+                lhs_pattern=lhs_pattern, rhs_pattern=rhs_pattern, name=name)
+
+
+def _parse_cind_side(text: str, original: str) -> tuple[str, list[str], dict[str, Any]]:
+    match = _CIND_SIDE_RE.match(text)
+    if not match:
+        raise ConstraintParseError(f"cannot parse CIND side {text!r} in {original!r}")
+    body = match.group("body")
+    if ";" in body:
+        correspondence_text, _, condition_text = body.partition(";")
+    else:
+        correspondence_text, condition_text = body, ""
+    attributes, _ = _parse_attribute_list(correspondence_text, original)
+    pattern: dict[str, Any] = {}
+    if condition_text.strip():
+        _, pattern = _parse_attribute_list(condition_text, original)
+        pattern = {a: v for a, v in pattern.items() if v is not UNDERSCORE}
+    return match.group("relation"), attributes, pattern

@@ -1,0 +1,344 @@
+"""Static analyses of CFDs: satisfiability, implication, minimal cover.
+
+Fan et al. (TODS) show that, unlike classical FDs, a set of CFDs may be
+*inconsistent* — no non-empty instance can satisfy it — and that
+satisfiability / implication analysis is intractable in general (finite
+attribute domains).  Under the infinite-domain assumption used throughout
+this library (string attributes drawn from an unbounded domain) the
+following practical algorithms apply:
+
+* **Satisfiability** (:func:`is_satisfiable`) — a CFD set is satisfiable
+  iff some *single tuple* satisfies it (CFD violations survive in
+  supersets, so any tuple of a satisfying instance is itself a witness).
+  The witness is found by backtracking over, per attribute, the constants
+  mentioned by the CFDs plus one fresh value.
+
+* **Implication** (:func:`implies`) — a chase over a two-tuple tableau:
+  the tuples are made to agree on the candidate's LHS (respecting its
+  pattern), all CFDs are applied to a fixpoint (equating right-hand
+  values / forcing constants), and the candidate holds iff the chase
+  forces its RHS.
+
+* **Minimal cover** (:func:`minimal_cover`) — normalize to single-RHS,
+  single-pattern CFDs and drop the ones implied by the rest.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Sequence
+
+from repro.errors import ConstraintError
+from repro.constraints.cfd import CFD
+from repro.constraints.tableau import PatternTuple, UNDERSCORE, is_wildcard
+
+_FRESH_PREFIX = "⟨fresh⟩"  # value guaranteed not to clash with real constants
+
+
+# ---------------------------------------------------------------------------
+# satisfiability
+# ---------------------------------------------------------------------------
+
+def is_satisfiable(cfds: Sequence[CFD]) -> bool:
+    """Whether some non-empty instance satisfies all *cfds*.
+
+    All CFDs must be over the same relation; an empty set is trivially
+    satisfiable.
+    """
+    return find_witness_tuple(cfds) is not None or not cfds
+
+
+def find_witness_tuple(cfds: Sequence[CFD]) -> dict[str, Any] | None:
+    """A single tuple (attribute → value) satisfying all *cfds*, or ``None``.
+
+    The search assigns each attribute either one of the constants the CFDs
+    mention on it or a fresh value, and backtracks on the normalized
+    (single-RHS, single-pattern) CFDs whose RHS is a constant.
+    """
+    if not cfds:
+        return None
+    relations = {cfd.relation_name.lower() for cfd in cfds}
+    if len(relations) > 1:
+        raise ConstraintError(
+            f"satisfiability analysis expects CFDs over one relation, got {sorted(relations)}")
+
+    normalized = [n for cfd in cfds for n in cfd.normalize()]
+    attributes: list[str] = []
+    for cfd in normalized:
+        for attribute in cfd.attributes():
+            if attribute not in attributes:
+                attributes.append(attribute)
+
+    candidates: dict[str, list[Any]] = {}
+    for attribute in attributes:
+        constants: list[Any] = []
+        for cfd in normalized:
+            for pattern in cfd.tableau:
+                value = pattern.pattern(attribute)
+                if not is_wildcard(value) and value not in constants:
+                    constants.append(value)
+        candidates[attribute] = constants + [f"{_FRESH_PREFIX}{attribute}"]
+
+    assignment: dict[str, Any] = {}
+
+    def consistent_so_far() -> bool:
+        for cfd in normalized:
+            pattern = cfd.tableau[0]
+            rhs_attribute = cfd.rhs[0]
+            if rhs_attribute not in assignment:
+                continue
+            if any(a not in assignment for a in cfd.lhs):
+                continue
+            lhs_matches = all(
+                is_wildcard(pattern.pattern(a)) or str(assignment[a]) == str(pattern.pattern(a))
+                for a in cfd.lhs
+            )
+            if not lhs_matches:
+                continue
+            rhs_pattern = pattern.pattern(rhs_attribute)
+            if is_wildcard(rhs_pattern):
+                continue
+            if str(assignment[rhs_attribute]) != str(rhs_pattern):
+                return False
+        return True
+
+    def backtrack(index: int) -> bool:
+        if index == len(attributes):
+            return True
+        attribute = attributes[index]
+        for value in candidates[attribute]:
+            assignment[attribute] = value
+            if consistent_so_far() and backtrack(index + 1):
+                return True
+            del assignment[attribute]
+        return False
+
+    if backtrack(0):
+        return dict(assignment)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# implication (chase over a two-tuple tableau)
+# ---------------------------------------------------------------------------
+
+class _ChaseState:
+    """Two symbolic tuples over the relation's attributes, with union-find cells."""
+
+    def __init__(self, attributes: Sequence[str]) -> None:
+        self.attributes = list(attributes)
+        # each cell holds either ("const", value) or ("var", unique_id)
+        self._counter = itertools.count()
+        self.cells: dict[tuple[int, str], Any] = {}
+        for row in (0, 1):
+            for attribute in attributes:
+                self.cells[(row, attribute)] = ("var", next(self._counter))
+        self.contradiction = False
+
+    def set_equal_across(self, attribute: str) -> None:
+        """Force t0[attribute] = t1[attribute] by sharing one symbolic value."""
+        self._merge((0, attribute), (1, attribute))
+
+    def set_constant(self, row: int, attribute: str, value: Any) -> None:
+        cell = self.cells[(row, attribute)]
+        if cell[0] == "const":
+            if str(cell[1]) != str(value):
+                self.contradiction = True
+            return
+        # replace every occurrence of this variable by the constant
+        target = cell
+        for key, current in self.cells.items():
+            if current == target:
+                self.cells[key] = ("const", value)
+
+    def _merge(self, left_key: tuple[int, str], right_key: tuple[int, str]) -> None:
+        left, right = self.cells[left_key], self.cells[right_key]
+        if left == right:
+            return
+        if left[0] == "const" and right[0] == "const":
+            if str(left[1]) != str(right[1]):
+                self.contradiction = True
+            return
+        if left[0] == "const":
+            self.set_constant(right_key[0], right_key[1], left[1])
+            return
+        if right[0] == "const":
+            self.set_constant(left_key[0], left_key[1], right[1])
+            return
+        # both variables: rename right's variable to left's
+        target = right
+        for key, current in self.cells.items():
+            if current == target:
+                self.cells[key] = left
+
+    def value(self, row: int, attribute: str) -> Any:
+        return self.cells[(row, attribute)]
+
+    def equal_across(self, attribute: str) -> bool:
+        return self.cells[(0, attribute)] == self.cells[(1, attribute)]
+
+    def matches_pattern(self, row: int, attribute: str, pattern_value: Any) -> bool:
+        if is_wildcard(pattern_value):
+            return True
+        cell = self.cells[(row, attribute)]
+        return cell[0] == "const" and str(cell[1]) == str(pattern_value)
+
+    def could_match(self, row: int, attribute: str, pattern_value: Any) -> bool:
+        """Whether the cell is compatible with the pattern (vars can become anything)."""
+        if is_wildcard(pattern_value):
+            return True
+        cell = self.cells[(row, attribute)]
+        if cell[0] == "var":
+            return False  # the chase only fires on established facts
+        return str(cell[1]) == str(pattern_value)
+
+
+def implies(cfds: Sequence[CFD], candidate: CFD) -> bool:
+    """Whether *cfds* imply *candidate* (chase-based test, infinite domains)."""
+    relation = candidate.relation_name.lower()
+    relevant = [cfd for cfd in cfds if cfd.relation_name.lower() == relation]
+    normalized = [n for cfd in relevant for n in cfd.normalize()]
+
+    for target in candidate.normalize():
+        if not _implies_single(normalized, target):
+            return False
+    return True
+
+
+def _implies_single(normalized: Sequence[CFD], candidate: CFD) -> bool:
+    pattern = candidate.tableau[0]
+    rhs_attribute = candidate.rhs[0]
+
+    attributes: list[str] = list(candidate.attributes())
+    for cfd in normalized:
+        for attribute in cfd.attributes():
+            if attribute not in attributes:
+                attributes.append(attribute)
+
+    state = _ChaseState(attributes)
+    # premise: the two tuples agree on the candidate's LHS and match its pattern
+    for attribute in candidate.lhs:
+        state.set_equal_across(attribute)
+        value = pattern.pattern(attribute)
+        if not is_wildcard(value):
+            state.set_constant(0, attribute, value)
+            state.set_constant(1, attribute, value)
+
+    _chase(state, normalized)
+
+    if state.contradiction:
+        # the premise cannot be realized, so the implication holds vacuously
+        return True
+
+    rhs_pattern = pattern.pattern(rhs_attribute)
+    if not state.equal_across(rhs_attribute):
+        return False
+    if is_wildcard(rhs_pattern):
+        return True
+    return state.matches_pattern(0, rhs_attribute, rhs_pattern)
+
+
+def _chase(state: _ChaseState, normalized: Sequence[CFD]) -> None:
+    changed = True
+    iterations = 0
+    limit = 20 * (len(normalized) + 1) * (len(state.attributes) + 1)
+    while changed and not state.contradiction and iterations < limit:
+        changed = False
+        iterations += 1
+        for cfd in normalized:
+            pattern = cfd.tableau[0]
+            rhs_attribute = cfd.rhs[0]
+            rhs_pattern = pattern.pattern(rhs_attribute)
+
+            # single-tuple rule: a tuple matching the LHS pattern must carry
+            # the RHS constant (when the RHS pattern is a constant).
+            if not is_wildcard(rhs_pattern):
+                for row in (0, 1):
+                    if all(state.could_match(row, a, pattern.pattern(a)) or
+                           is_wildcard(pattern.pattern(a)) for a in cfd.lhs) and \
+                            all(state.matches_pattern(row, a, pattern.pattern(a))
+                                for a in cfd.lhs):
+                        before = state.value(row, rhs_attribute)
+                        state.set_constant(row, rhs_attribute, rhs_pattern)
+                        if state.value(row, rhs_attribute) != before:
+                            changed = True
+
+            # pair rule: if the tuples agree on the LHS and match its pattern,
+            # they must agree on the RHS (and carry its constant, if any).
+            agree = all(state.equal_across(a) for a in cfd.lhs)
+            match = all(
+                is_wildcard(pattern.pattern(a)) or state.matches_pattern(0, a, pattern.pattern(a))
+                for a in cfd.lhs
+            )
+            if agree and match:
+                if not state.equal_across(rhs_attribute):
+                    state.set_equal_across(rhs_attribute)
+                    changed = True
+                if not is_wildcard(rhs_pattern):
+                    before = (state.value(0, rhs_attribute), state.value(1, rhs_attribute))
+                    state.set_constant(0, rhs_attribute, rhs_pattern)
+                    state.set_constant(1, rhs_attribute, rhs_pattern)
+                    if (state.value(0, rhs_attribute), state.value(1, rhs_attribute)) != before:
+                        changed = True
+            if state.contradiction:
+                return
+
+
+# ---------------------------------------------------------------------------
+# minimal cover
+# ---------------------------------------------------------------------------
+
+def minimal_cover(cfds: Sequence[CFD]) -> list[CFD]:
+    """A non-redundant set of normalized CFDs equivalent to *cfds*.
+
+    CFDs are first normalized (single RHS attribute, single pattern), then
+    duplicates and CFDs implied by the remaining ones are dropped.
+    """
+    normalized: list[CFD] = []
+    for cfd in cfds:
+        for part in cfd.normalize():
+            if part not in normalized:
+                normalized.append(part)
+
+    index = 0
+    while index < len(normalized):
+        candidate = normalized[index]
+        rest = normalized[:index] + normalized[index + 1:]
+        if rest and implies(rest, candidate):
+            normalized = rest
+        else:
+            index += 1
+    return normalized
+
+
+def pairwise_conflicts(cfds: Sequence[CFD]) -> list[tuple[CFD, CFD]]:
+    """Pairs of constant CFDs that can never be satisfied together.
+
+    Two normalized CFDs conflict when their LHS patterns are compatible
+    (a tuple could match both) but they force different constants on the
+    same RHS attribute.  This is the common source of inconsistent CFD
+    sets in practice and is reported by Semandaq before repairing.
+    """
+    normalized = [n for cfd in cfds for n in cfd.normalize()]
+    conflicts: list[tuple[CFD, CFD]] = []
+    for i, first in enumerate(normalized):
+        for second in normalized[i + 1:]:
+            if first.relation_name.lower() != second.relation_name.lower():
+                continue
+            if first.rhs != second.rhs:
+                continue
+            pattern_a, pattern_b = first.tableau[0], second.tableau[0]
+            rhs = first.rhs[0]
+            value_a, value_b = pattern_a.pattern(rhs), pattern_b.pattern(rhs)
+            if is_wildcard(value_a) or is_wildcard(value_b):
+                continue
+            if str(value_a) == str(value_b):
+                continue
+            shared = set(first.lhs) & set(second.lhs)
+            compatible = pattern_a.is_compatible_with(pattern_b, shared)
+            constant_on_shared_a = all(pattern_a.is_constant_on(a) for a in first.lhs)
+            constant_on_shared_b = all(pattern_b.is_constant_on(a) for a in second.lhs)
+            if compatible and constant_on_shared_a and constant_on_shared_b \
+                    and set(first.lhs) == set(second.lhs):
+                conflicts.append((first, second))
+    return conflicts

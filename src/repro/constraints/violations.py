@@ -1,0 +1,172 @@
+"""Violation data model shared by detection, repair and Semandaq.
+
+A violation identifies the tuples (and the pattern) witnessing that a
+constraint does not hold:
+
+* :class:`CFDViolation` — either a single tuple violating a constant
+  pattern, or a pair of tuples violating a variable pattern;
+* :class:`CINDViolation` — an LHS tuple with no matching RHS tuple.
+
+A :class:`ViolationReport` aggregates violations, exposes per-constraint
+counts, the set of dirty tuples and the set of dirty *cells* (the inputs
+the repair algorithm works on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.constraints.cfd import CFD
+from repro.constraints.cind import CIND
+from repro.constraints.tableau import PatternTuple
+
+
+@dataclass(frozen=True)
+class CFDViolation:
+    """A witnessed CFD violation.
+
+    ``tids`` has one element for single-tuple (constant-pattern) violations.
+    For variable-pattern violations it holds the tuples of one violating
+    group — all the tuples that agree on the LHS (and match the pattern)
+    but do not agree on the RHS; the smallest such group is a pair.
+    """
+
+    cfd: CFD
+    pattern: PatternTuple
+    tids: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tids", tuple(sorted(self.tids)))
+
+    @property
+    def is_single_tuple(self) -> bool:
+        return len(self.tids) == 1
+
+    @property
+    def is_pair(self) -> bool:
+        """Whether this is a multi-tuple (group) violation."""
+        return len(self.tids) >= 2
+
+    @property
+    def group_size(self) -> int:
+        """Number of tuples in the violating group."""
+        return len(self.tids)
+
+    def cells(self) -> list[tuple[int, str]]:
+        """The (tid, attribute) cells implicated by this violation.
+
+        For a single-tuple violation only the RHS cells of that tuple are
+        implicated; for a pair violation the LHS and RHS cells of both
+        tuples are (any of them could be the wrong one).
+        """
+        attributes: Iterable[str]
+        if self.is_single_tuple:
+            attributes = self.cfd.rhs
+        else:
+            attributes = self.cfd.attributes()
+        return [(tid, attribute) for tid in self.tids for attribute in attributes]
+
+    def __repr__(self) -> str:
+        kind = "single" if self.is_single_tuple else "pair"
+        return f"CFDViolation({kind}, tids={self.tids}, cfd={self.cfd.relation_name}:{self.cfd.lhs}->{self.cfd.rhs})"
+
+
+@dataclass(frozen=True)
+class CINDViolation:
+    """An LHS tuple matching a CIND's condition with no RHS partner."""
+
+    cind: CIND
+    tid: int
+
+    def cells(self) -> list[tuple[int, str]]:
+        """The implicated cells: the correspondence attributes of the LHS tuple."""
+        return [(self.tid, attribute) for attribute in self.cind.lhs_attributes]
+
+    def __repr__(self) -> str:
+        return f"CINDViolation(tid={self.tid}, cind={self.cind.lhs_relation}⊆{self.cind.rhs_relation})"
+
+
+Violation = CFDViolation | CINDViolation
+
+
+@dataclass
+class ViolationReport:
+    """Aggregated violations of one detection run."""
+
+    relation_name: str
+    violations: list[Violation] = field(default_factory=list)
+    tuples_checked: int = 0
+
+    # -- building ----------------------------------------------------------
+
+    def add(self, violation: Violation) -> None:
+        self.violations.append(violation)
+
+    def extend(self, violations: Iterable[Violation]) -> None:
+        self.violations.extend(violations)
+
+    def merge(self, other: "ViolationReport") -> "ViolationReport":
+        """A new report containing the violations of both reports."""
+        merged = ViolationReport(self.relation_name,
+                                 list(self.violations) + list(other.violations),
+                                 max(self.tuples_checked, other.tuples_checked))
+        return merged
+
+    # -- queries ------------------------------------------------------------
+
+    def is_clean(self) -> bool:
+        """Whether no violation was found."""
+        return not self.violations
+
+    def __len__(self) -> int:
+        return len(self.violations)
+
+    def __iter__(self) -> Iterator[Violation]:
+        return iter(self.violations)
+
+    def single_tuple_violations(self) -> list[CFDViolation]:
+        return [v for v in self.violations
+                if isinstance(v, CFDViolation) and v.is_single_tuple]
+
+    def pair_violations(self) -> list[CFDViolation]:
+        return [v for v in self.violations if isinstance(v, CFDViolation) and v.is_pair]
+
+    def cind_violations(self) -> list[CINDViolation]:
+        return [v for v in self.violations if isinstance(v, CINDViolation)]
+
+    def violating_tids(self) -> set[int]:
+        """All tuple ids implicated in at least one violation."""
+        tids: set[int] = set()
+        for violation in self.violations:
+            if isinstance(violation, CFDViolation):
+                tids.update(violation.tids)
+            else:
+                tids.add(violation.tid)
+        return tids
+
+    def dirty_cells(self) -> set[tuple[int, str]]:
+        """All (tid, attribute) cells implicated in at least one violation."""
+        cells: set[tuple[int, str]] = set()
+        for violation in self.violations:
+            cells.update(violation.cells())
+        return cells
+
+    def count_by_constraint(self) -> dict[str, int]:
+        """Number of violations per constraint (keyed by its repr)."""
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            key = repr(violation.cfd if isinstance(violation, CFDViolation) else violation.cind)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        """A short human-readable summary (used by Semandaq reports)."""
+        singles = len(self.single_tuple_violations())
+        pairs = len(self.pair_violations())
+        cinds = len(self.cind_violations())
+        return (
+            f"relation {self.relation_name!r}: {len(self.violations)} violations "
+            f"({singles} single-tuple, {pairs} pair, {cinds} inclusion) over "
+            f"{len(self.violating_tids())} tuples; {self.tuples_checked} tuples checked"
+        )

@@ -1,0 +1,30 @@
+"""High-level facade of the library.
+
+``repro.core`` exposes the handful of calls a downstream user needs for
+the common workflows of the paper, without having to know the package
+layout:
+
+* :func:`detect_violations` — CFD/CIND violation detection;
+* :func:`repair` — minimal-cost repairing;
+* :func:`discover_cfds` — profiling: CFD discovery from data;
+* :func:`match_records` — object identification with derived RCKs;
+* :class:`CleaningPipeline` — detect → repair → evaluate in one object.
+"""
+
+from repro.core.pipeline import (
+    CleaningPipeline,
+    PipelineResult,
+    detect_violations,
+    discover_cfds,
+    match_records,
+    repair,
+)
+
+__all__ = [
+    "CleaningPipeline",
+    "PipelineResult",
+    "detect_violations",
+    "repair",
+    "discover_cfds",
+    "match_records",
+]

@@ -1,0 +1,88 @@
+"""The CQA engine: naive, certain (enumeration) and certain (rewriting) answers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.cqa.repairs import enumerate_key_repairs
+from repro.cqa.rewriting import certain_answers_rewriting
+from repro.errors import CQAError
+from repro.relational.relation import Relation, Tuple
+from repro.relational.types import is_null
+
+
+@dataclass(frozen=True)
+class SelectionQuery:
+    """A selection–projection query ``π_project(σ_predicate(R))``.
+
+    ``predicate`` maps a tuple to a bool; ``equalities`` is an optional
+    declarative form (attribute → required value) used when no callable is
+    given (and kept for introspection / pretty-printing).
+    """
+
+    project: tuple[str, ...]
+    equalities: dict[str, Any] = field(default_factory=dict)
+    predicate: Callable[[Tuple], bool] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "project", tuple(a.lower() for a in self.project))
+        object.__setattr__(self, "equalities",
+                           {a.lower(): v for a, v in self.equalities.items()})
+        if not self.project:
+            raise CQAError("a selection query must project at least one attribute")
+
+    def matches(self, row: Tuple) -> bool:
+        """Whether *row* satisfies the selection."""
+        if self.predicate is not None:
+            return bool(self.predicate(row))
+        for attribute, value in self.equalities.items():
+            current = row[attribute]
+            if is_null(current) or str(current) != str(value):
+                return False
+        return True
+
+    def answer_on(self, relation: Relation) -> set[tuple[Any, ...]]:
+        """The (set-semantics) answer of the query on one relation."""
+        return {row.project(list(self.project)) for row in relation if self.matches(row)}
+
+    def __repr__(self) -> str:
+        condition = " AND ".join(f"{a}={v!r}" for a, v in self.equalities.items()) or "true"
+        return f"SELECT {', '.join(self.project)} WHERE {condition}"
+
+
+class CQAEngine:
+    """Answers selection–projection queries on a relation with key violations."""
+
+    def __init__(self, relation: Relation, key: Sequence[str]) -> None:
+        self._relation = relation
+        self._key = [relation.schema.canonical_name(a) for a in key]
+
+    # -- answer notions -------------------------------------------------------------
+
+    def naive_answers(self, query: SelectionQuery) -> set[tuple[Any, ...]]:
+        """Answers on the inconsistent relation as-is (what SQL would return)."""
+        return query.answer_on(self._relation)
+
+    def certain_answers(self, query: SelectionQuery,
+                        max_repairs: int = 10000) -> set[tuple[Any, ...]]:
+        """Answers true in every repair, by explicit repair enumeration."""
+        answers: set[tuple[Any, ...]] | None = None
+        for repair in enumerate_key_repairs(self._relation, self._key, max_repairs=max_repairs):
+            current = query.answer_on(repair)
+            answers = current if answers is None else (answers & current)
+            if not answers:
+                return set()
+        return answers if answers is not None else set()
+
+    def certain_answers_rewritten(self, query: SelectionQuery) -> set[tuple[Any, ...]]:
+        """Answers true in every repair, without enumerating repairs."""
+        return certain_answers_rewriting(self._relation, self._key, query)
+
+    def possible_answers(self, query: SelectionQuery,
+                         max_repairs: int = 10000) -> set[tuple[Any, ...]]:
+        """Answers true in at least one repair."""
+        answers: set[tuple[Any, ...]] = set()
+        for repair in enumerate_key_repairs(self._relation, self._key, max_repairs=max_repairs):
+            answers |= query.answer_on(repair)
+        return answers

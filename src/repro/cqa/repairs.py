@@ -1,0 +1,73 @@
+"""Subset repairs of a relation under a key (FD) constraint.
+
+For a key constraint ``X → R`` (the tuple's ``X`` values determine the
+whole tuple), tuples sharing an ``X`` value but differing elsewhere are in
+conflict; a *subset repair* keeps exactly one tuple of every conflicting
+group (and all non-conflicting tuples).  The number of repairs is the
+product of the group sizes, so enumeration is only feasible on small
+conflict sets — the rewriting module avoids it; this module provides the
+exact semantics and the test oracle.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+from repro.errors import CQAError
+from repro.relational.index import HashIndex
+from repro.relational.relation import Relation
+from repro.relational.types import is_null
+
+
+def key_conflict_groups(relation: Relation, key: Sequence[str]) -> list[list[int]]:
+    """Groups of tuple ids sharing the key but not identical on all attributes."""
+    index = HashIndex(relation, list(key))
+    groups: list[list[int]] = []
+    for group_key, tids in index.groups():
+        if len(tids) < 2 or any(is_null(v) for v in group_key):
+            continue
+        distinct_rows = {relation.tuple(tid).values for tid in tids}
+        if len(distinct_rows) > 1:
+            groups.append(sorted(tids))
+    return groups
+
+
+def count_key_repairs(relation: Relation, key: Sequence[str]) -> int:
+    """Number of subset repairs (product of conflicting group sizes)."""
+    count = 1
+    for group in key_conflict_groups(relation, key):
+        count *= len(group)
+    return count
+
+
+def enumerate_key_repairs(relation: Relation, key: Sequence[str],
+                          max_repairs: int = 10000) -> Iterator[Relation]:
+    """Yield every subset repair of *relation* under the key constraint.
+
+    Raises :class:`~repro.errors.CQAError` when the number of repairs
+    exceeds *max_repairs* (use the rewriting instead).
+    """
+    conflict_groups = key_conflict_groups(relation, key)
+    total = 1
+    for group in conflict_groups:
+        total *= len(group)
+    if total > max_repairs:
+        raise CQAError(
+            f"{total} repairs exceed the enumeration limit of {max_repairs}; "
+            "use certain_answers_rewriting instead")
+
+    conflicting_tids = {tid for group in conflict_groups for tid in group}
+    base_tids = [tid for tid in relation.tids() if tid not in conflicting_tids]
+
+    if not conflict_groups:
+        yield relation.copy()
+        return
+
+    for chosen in itertools.product(*conflict_groups):
+        repair = Relation(relation.schema)
+        kept = set(base_tids) | set(chosen)
+        for tid in relation.tids():
+            if tid in kept:
+                repair.insert(list(relation.tuple(tid).values))
+        yield repair

@@ -1,0 +1,33 @@
+"""Synthetic workload generators.
+
+The evaluations of the surveyed papers use real customer / sales data that
+is not publicly available; their experimental protocol, however, is fully
+synthetic-friendly: start from a *clean* instance consistent with a set of
+constraints, inject noise at a controlled rate, and measure detection /
+repair / matching on the dirtied copy.  This package reproduces that
+protocol:
+
+* :mod:`repro.datagen.customer` — the ``customer(cc, ac, phn, name, street,
+  city, zip)`` relation of the CFD papers, plus its canonical CFDs;
+* :mod:`repro.datagen.orders`  — the ``book`` / ``CD`` order relations of
+  the CIND examples, plus their canonical CINDs;
+* :mod:`repro.datagen.cards`   — the ``card`` / ``billing`` pair of the
+  record-matching section, with ground-truth match pairs;
+* :mod:`repro.datagen.noise`   — controlled error injection with ground
+  truth for precision/recall evaluation.
+
+All generators are deterministic given a seed.
+"""
+
+from repro.datagen.customer import CustomerGenerator
+from repro.datagen.noise import NoiseInjection, inject_noise
+from repro.datagen.orders import OrdersGenerator
+from repro.datagen.cards import CardBillingGenerator
+
+__all__ = [
+    "CustomerGenerator",
+    "OrdersGenerator",
+    "CardBillingGenerator",
+    "NoiseInjection",
+    "inject_noise",
+]

@@ -1,0 +1,150 @@
+"""Synthetic card / billing data with ground-truth matches.
+
+Section 4 of the tutorial uses two sources — ``card(c#, ssn, fn, ln, addr,
+phn, email, type)`` and ``billing(c#, fn, ln, addr, phn, email, item,
+price)`` — and asks whether a billing record refers to the same card
+holder.  The generator creates a population of card holders, emits one
+card tuple per holder and one or more billing tuples per holder, then
+*dirties* a controllable fraction of the billing attributes (abbreviated
+addresses, typos in names, missing emails) so that exact key equality
+fails while the derived RCKs still find the match.  The true
+(card_tid, billing_tid) pairs are returned as ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.types import NULL, AttributeType
+
+CARD_SCHEMA = RelationSchema("card", [
+    Attribute("cno", AttributeType.STRING),
+    Attribute("ssn", AttributeType.STRING),
+    Attribute("fn", AttributeType.STRING),
+    Attribute("ln", AttributeType.STRING),
+    Attribute("addr", AttributeType.STRING),
+    Attribute("phn", AttributeType.STRING),
+    Attribute("email", AttributeType.STRING),
+    Attribute("type", AttributeType.STRING),
+])
+
+BILLING_SCHEMA = RelationSchema("billing", [
+    Attribute("cno", AttributeType.STRING),
+    Attribute("fn", AttributeType.STRING),
+    Attribute("ln", AttributeType.STRING),
+    Attribute("addr", AttributeType.STRING),
+    Attribute("phn", AttributeType.STRING),
+    Attribute("email", AttributeType.STRING),
+    Attribute("item", AttributeType.STRING),
+    Attribute("price", AttributeType.STRING),
+])
+
+_FIRST_NAMES = ["michael", "richard", "joseph", "maria", "anna", "robert", "susan",
+                "thomas", "jane", "liang", "pedro", "fatima"]
+_LAST_NAMES = ["smith", "brady", "luth", "doe", "jones", "brown", "davis", "clark",
+               "lewis", "walker", "nguyen", "garcia"]
+_STREETS = ["mountain avenue", "main street", "mayfield road", "oak lane", "church road",
+            "park avenue", "station road", "mill lane", "north street", "bridge road"]
+_ITEMS = ["phone", "laptop", "book", "ticket", "groceries", "fuel", "subscription"]
+
+_ABBREVIATIONS = {"avenue": "ave", "street": "st", "road": "rd", "lane": "ln"}
+_NICKNAMES = {"michael": "mike", "richard": "rick", "joseph": "joe", "robert": "bob",
+              "susan": "sue", "thomas": "tom", "maria": "mary"}
+
+
+@dataclass
+class CardBillingWorkload:
+    """The generated database plus ground truth."""
+
+    database: Database
+    true_matches: set[tuple[int, int]] = field(default_factory=set)
+
+    @property
+    def card(self) -> Relation:
+        return self.database.relation("card")
+
+    @property
+    def billing(self) -> Relation:
+        return self.database.relation("billing")
+
+
+class CardBillingGenerator:
+    """Generates matched card/billing pairs with controllable dirtiness."""
+
+    def __init__(self, seed: int = 31) -> None:
+        self._random = random.Random(seed)
+
+    def generate(self, holders: int, billings_per_holder: int = 1,
+                 dirty_rate: float = 0.3) -> CardBillingWorkload:
+        """Generate *holders* card holders and their billing records.
+
+        ``dirty_rate`` is the probability that a billing record is
+        perturbed (abbreviated address, nickname, typo in the last name,
+        or a missing email), which is what defeats naive exact matching.
+        """
+        database = Database("fraud")
+        card = Relation(CARD_SCHEMA)
+        billing = Relation(BILLING_SCHEMA)
+        true_matches: set[tuple[int, int]] = set()
+
+        for index in range(holders):
+            first = self._random.choice(_FIRST_NAMES)
+            last = self._random.choice(_LAST_NAMES)
+            address = f"{self._random.randrange(1, 200)} {self._random.choice(_STREETS)}"
+            phone = f"908555{1000 + index}"
+            email = f"{first}.{last}.{index}@example.com"
+            card_tid = card.insert_dict({
+                "cno": f"C{100000 + index}",
+                "ssn": f"{300000000 + index}",
+                "fn": first, "ln": last, "addr": address, "phn": phone,
+                "email": email, "type": self._random.choice(["visa", "master"]),
+            })
+            for _ in range(billings_per_holder):
+                values = {
+                    "cno": f"C{100000 + index}",
+                    "fn": first, "ln": last, "addr": address, "phn": phone,
+                    "email": email,
+                    "item": self._random.choice(_ITEMS),
+                    "price": str(self._random.randrange(5, 900)),
+                }
+                if self._random.random() < dirty_rate:
+                    values = self._dirty(values)
+                billing_tid = billing.insert_dict(values)
+                true_matches.add((card_tid, billing_tid))
+
+        database.add(card)
+        database.add(billing)
+        return CardBillingWorkload(database=database, true_matches=true_matches)
+
+    # -- dirtying -------------------------------------------------------------------
+
+    def _dirty(self, values: dict) -> dict:
+        perturbed = dict(values)
+        choice = self._random.random()
+        if choice < 0.35:
+            # abbreviate the address ("mountain avenue" -> "mountain ave")
+            address = perturbed["addr"]
+            for long_form, short_form in _ABBREVIATIONS.items():
+                address = address.replace(long_form, short_form)
+            perturbed["addr"] = address
+        elif choice < 0.6:
+            # use a nickname for the first name
+            perturbed["fn"] = _NICKNAMES.get(perturbed["fn"], perturbed["fn"][:3])
+        elif choice < 0.8:
+            # typo in the last name
+            last = perturbed["ln"]
+            position = self._random.randrange(len(last))
+            perturbed["ln"] = last[:position] + "x" + last[position + 1:]
+        else:
+            # missing email
+            perturbed["email"] = NULL
+        return perturbed
+
+    @staticmethod
+    def target_attributes() -> list[str]:
+        """The Y-list both relations share (what a match must agree on)."""
+        return ["fn", "ln", "addr", "phn", "email"]

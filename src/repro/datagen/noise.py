@@ -1,0 +1,125 @@
+"""Controlled noise injection with ground truth.
+
+The experimental protocol of the repair papers: given a clean relation,
+dirty a fraction ``rate`` of the cells of selected attributes and remember
+exactly which cells were touched (the ground truth for precision/recall).
+Three kinds of errors are supported:
+
+* ``"domain"`` — replace the value by a *different* value drawn from the
+  same attribute's active domain (the hardest errors: they look plausible);
+* ``"typo"``   — perturb characters of the value (easier to spot);
+* ``"null"``   — blank the value out.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.errors import ReproError
+from repro.relational.relation import Relation
+from repro.relational.types import NULL, is_null
+
+
+@dataclass(frozen=True)
+class InjectedError:
+    """One cell whose value was corrupted."""
+
+    tid: int
+    attribute: str
+    clean_value: Any
+    dirty_value: Any
+
+
+@dataclass
+class NoiseInjection:
+    """The outcome of one noise-injection run."""
+
+    clean: Relation
+    dirty: Relation
+    errors: list[InjectedError] = field(default_factory=list)
+
+    @property
+    def error_cells(self) -> set[tuple[int, str]]:
+        return {(error.tid, error.attribute) for error in self.errors}
+
+    @property
+    def rate(self) -> float:
+        """Achieved error rate (errors / dirtied-attribute cells)."""
+        total = len(self.dirty) * len(self.dirty.schema)
+        return len(self.errors) / total if total else 0.0
+
+
+def inject_noise(clean: Relation, rate: float,
+                 attributes: Sequence[str] | None = None,
+                 kind: str = "domain", seed: int = 13) -> NoiseInjection:
+    """Return a dirtied copy of *clean* with ``rate`` of the cells corrupted.
+
+    *attributes* restricts which columns may be dirtied (default: all);
+    *rate* is interpreted per cell of those columns.  The clean relation
+    is never modified; tuple ids are preserved so results can be compared
+    cell by cell.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ReproError(f"noise rate must be in [0, 1], got {rate}")
+    if kind not in ("domain", "typo", "null"):
+        raise ReproError(f"unknown noise kind {kind!r}")
+    rng = random.Random(seed)
+    target_attributes = [clean.schema.canonical_name(a)
+                         for a in (attributes or clean.schema.attribute_names)]
+
+    dirty = clean.copy()
+    domains = {attribute: sorted(clean.active_domain(attribute), key=str)
+               for attribute in target_attributes}
+
+    cells = [(tid, attribute) for tid in clean.tids() for attribute in target_attributes]
+    rng.shuffle(cells)
+    to_corrupt = cells[: int(round(rate * len(cells)))]
+
+    errors: list[InjectedError] = []
+    for tid, attribute in to_corrupt:
+        clean_value = clean.value(tid, attribute)
+        dirty_value = _corrupt(clean_value, domains[attribute], kind, rng)
+        if _same(clean_value, dirty_value):
+            continue
+        dirty.update(tid, attribute, dirty_value)
+        errors.append(InjectedError(tid, attribute.lower(), clean_value, dirty_value))
+    return NoiseInjection(clean=clean, dirty=dirty, errors=errors)
+
+
+def _same(left: Any, right: Any) -> bool:
+    if is_null(left) and is_null(right):
+        return True
+    if is_null(left) or is_null(right):
+        return False
+    return str(left) == str(right)
+
+
+def _corrupt(value: Any, domain: list[Any], kind: str, rng: random.Random) -> Any:
+    if kind == "null":
+        return NULL
+    if kind == "domain":
+        alternatives = [v for v in domain if not _same(v, value)]
+        if alternatives:
+            return rng.choice(alternatives)
+        kind = "typo"  # degenerate domain: fall back to a typo
+    return _typo(str(value) if not is_null(value) else "x", rng)
+
+
+def _typo(text: str, rng: random.Random) -> str:
+    """Perturb one character (substitution, deletion, duplication or append)."""
+    letters = string.ascii_lowercase + string.digits
+    if not text:
+        return rng.choice(letters)
+    position = rng.randrange(len(text))
+    operation = rng.choice(("substitute", "delete", "duplicate", "append"))
+    if operation == "substitute":
+        replacement = rng.choice([c for c in letters if c != text[position]])
+        return text[:position] + replacement + text[position + 1:]
+    if operation == "delete" and len(text) > 1:
+        return text[:position] + text[position + 1:]
+    if operation == "duplicate":
+        return text[:position + 1] + text[position] + text[position + 1:]
+    return text + rng.choice(letters)

@@ -1,0 +1,101 @@
+"""Synthetic book / CD order data for the CIND experiments.
+
+The tutorial's CIND example relates CD orders to book orders: every CD
+whose genre is ``a-book`` (an audio book) must have a matching ``book``
+tuple with the same title and price and format ``audio``.  The generator
+builds a catalog of titles, emits a ``book`` relation covering the audio
+books, and a ``cd`` relation referencing them; a ``violation_rate``
+fraction of the audio-book CDs is left *without* a proper book partner so
+that detection workloads of a known size can be produced.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.constraints.cind import CIND
+from repro.constraints.parse import parse_cind
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.types import AttributeType
+
+CD_SCHEMA = RelationSchema("cd", [
+    Attribute("album", AttributeType.STRING),
+    Attribute("price", AttributeType.STRING),
+    Attribute("genre", AttributeType.STRING),
+])
+
+BOOK_SCHEMA = RelationSchema("book", [
+    Attribute("title", AttributeType.STRING),
+    Attribute("price", AttributeType.STRING),
+    Attribute("format", AttributeType.STRING),
+])
+
+_GENRES = ["rock", "jazz", "classical", "pop", "folk"]
+_WORDS = ["winter", "river", "shadow", "light", "garden", "stone", "echo", "silver",
+          "journey", "harbor", "meadow", "ember", "willow", "summit", "quiet"]
+
+
+class OrdersGenerator:
+    """Generates (cd, book) databases with a controllable CIND violation rate."""
+
+    def __init__(self, seed: int = 23, catalog_size: int = 200) -> None:
+        self._random = random.Random(seed)
+        self._catalog = [
+            f"{self._random.choice(_WORDS)} {self._random.choice(_WORDS)} {index}"
+            for index in range(catalog_size)
+        ]
+
+    def generate(self, cd_count: int, violation_rate: float = 0.05,
+                 audio_fraction: float = 0.4) -> tuple[Database, int]:
+        """Build a database with *cd_count* CD tuples.
+
+        Returns ``(database, expected_violations)`` where the second
+        component is the number of audio-book CDs intentionally left
+        without a matching book tuple.
+        """
+        database = Database("orders")
+        books = Relation(BOOK_SCHEMA)
+        cds = Relation(CD_SCHEMA)
+
+        expected_violations = 0
+        covered_titles: set[str] = set()
+        for index in range(cd_count):
+            # titles are made unique per CD so the expected violation count is exact
+            title = f"{self._random.choice(self._catalog)} #{index}"
+            price = str(self._random.randrange(5, 40))
+            is_audio_book = self._random.random() < audio_fraction
+            if not is_audio_book:
+                cds.insert_dict({"album": title, "price": price,
+                                 "genre": self._random.choice(_GENRES)})
+                continue
+            cds.insert_dict({"album": title, "price": price, "genre": "a-book"})
+            violate = self._random.random() < violation_rate
+            if violate:
+                expected_violations += 1
+                # either omit the book entirely or give it the wrong format
+                if self._random.random() < 0.5 and title not in covered_titles:
+                    books.insert_dict({"title": title, "price": price, "format": "hardcover"})
+                continue
+            books.insert_dict({"title": title, "price": price, "format": "audio"})
+            covered_titles.add(title)
+
+        # add unrelated print books as background noise
+        for index in range(cd_count // 4):
+            books.insert_dict({
+                "title": self._random.choice(self._catalog),
+                "price": str(self._random.randrange(5, 40)),
+                "format": self._random.choice(["paperback", "hardcover"]),
+            })
+
+        database.add(cds)
+        database.add(books)
+        return database, expected_violations
+
+    @staticmethod
+    def canonical_cind() -> CIND:
+        """The tutorial's CIND over the generated schema."""
+        return parse_cind(
+            "cd(album, price; genre='a-book') SUBSET book(title, price; format='audio')",
+            name="audio_books")

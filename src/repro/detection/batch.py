@@ -1,0 +1,106 @@
+"""Merged-tableau (batch) detection of many CFDs.
+
+When several CFDs share the same embedded FD ``X → Y`` (differing only in
+their pattern tuples), Fan et al. detect them together: the pattern
+tableaux are merged and the relation is grouped on ``X`` **once**, instead
+of once per CFD.  The per-group work then checks every pattern against the
+group.  :class:`BatchCFDDetector` implements this; the naive alternative
+(one full detection pass per CFD) is available via
+:meth:`BatchCFDDetector.detect_naive` so that benchmarks can compare the
+two (experiment E3).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Sequence
+
+from repro.constraints.cfd import CFD, group_by_embedded_fd, merge_cfds
+from repro.constraints.tableau import PatternTuple
+from repro.constraints.violations import CFDViolation, ViolationReport
+from repro.detection.cfd_detect import CFDDetector
+from repro.relational.index import HashIndex
+from repro.relational.relation import Relation
+from repro.relational.types import is_null
+
+
+class BatchCFDDetector:
+    """Detects a set of CFDs by merging tableaux per embedded FD."""
+
+    def __init__(self, relation: Relation, cfds: Sequence[CFD]) -> None:
+        for cfd in cfds:
+            cfd.validate_against(relation)
+        self._relation = relation
+        self._cfds = list(cfds)
+        self._merged = merge_cfds(cfds)
+
+    @property
+    def merged_cfds(self) -> list[CFD]:
+        """The CFDs after merging tableaux (one per embedded FD)."""
+        return list(self._merged)
+
+    # -- batch path ---------------------------------------------------------------
+
+    def detect(self) -> ViolationReport:
+        """One grouping pass per embedded FD, all patterns checked per group."""
+        report = ViolationReport(self._relation.name, tuples_checked=len(self._relation))
+        for merged in self._merged:
+            report.extend(self._detect_merged(merged))
+        return report
+
+    def _detect_merged(self, cfd: CFD) -> list[CFDViolation]:
+        violations: list[CFDViolation] = []
+        index = HashIndex(self._relation, list(cfd.lhs))
+
+        # single-tuple violations: check every tuple against every pattern
+        # with RHS constants, in one scan.
+        constant_patterns = [
+            pattern for pattern in cfd.tableau
+            if any(pattern.is_constant_on(a) for a in cfd.rhs)
+        ]
+        if constant_patterns:
+            for row in self._relation:
+                for pattern in constant_patterns:
+                    if not pattern.matches(row, cfd.lhs):
+                        continue
+                    constant_rhs = [a for a in cfd.rhs if pattern.is_constant_on(a)]
+                    if not pattern.matches(row, constant_rhs):
+                        violations.append(CFDViolation(cfd, pattern, (row.tid,)))
+
+        # group violations: one pass over the groups of the shared index.
+        variable_patterns = [
+            pattern for pattern in cfd.tableau
+            if any(not pattern.is_constant_on(a) for a in cfd.rhs)
+        ]
+        if variable_patterns:
+            for key, tids in index.groups():
+                if len(tids) < 2 or any(is_null(v) for v in key):
+                    continue
+                rows = [self._relation.tuple(tid) for tid in sorted(tids)]
+                for pattern in variable_patterns:
+                    variable_rhs = [a for a in cfd.rhs if not pattern.is_constant_on(a)]
+                    matching = [row for row in rows if pattern.matches(row, cfd.lhs)]
+                    if len(matching) < 2:
+                        continue
+                    by_rhs: dict[tuple[Any, ...], list[int]] = defaultdict(list)
+                    for row in matching:
+                        by_rhs[row.project(variable_rhs)].append(row.tid)
+                    if len(by_rhs) > 1:
+                        violations.append(
+                            CFDViolation(cfd, pattern, tuple(sorted(r.tid for r in matching))))
+        return violations
+
+    # -- naive path -----------------------------------------------------------------
+
+    def detect_naive(self) -> ViolationReport:
+        """One full detection pass per original CFD (the baseline E3 compares against)."""
+        report = ViolationReport(self._relation.name, tuples_checked=len(self._relation))
+        for cfd in self._cfds:
+            report.extend(CFDDetector(self._relation, [cfd]).detect_one(cfd))
+        return report
+
+    # -- comparison helper -------------------------------------------------------------
+
+    def violating_tids_agree(self) -> bool:
+        """Whether the batch and naive paths implicate the same tuples (sanity check)."""
+        return self.detect().violating_tids() == self.detect_naive().violating_tids()

@@ -1,0 +1,246 @@
+"""CFD violation detection.
+
+Given a relation ``R`` and a CFD ``φ = (X → Y, Tp)``, two kinds of
+violations exist:
+
+* **single-tuple** violations: a tuple matches a pattern's constants on
+  ``X`` but not on ``Y`` (only possible when the pattern has constants on
+  the RHS);
+* **group** violations: a set of tuples match a pattern on ``X``, agree on
+  ``X`` but do not all agree on ``Y``.
+
+:class:`CFDDetector` finds both by hashing tuples on ``X``;
+:class:`SQLCFDDetector` instead *generates SQL* — the approach of Fan et
+al.'s Semandaq system — and executes it on the library's SQL engine.  Both
+return the same :class:`~repro.constraints.violations.ViolationReport`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Sequence
+
+from repro.constraints.cfd import CFD
+from repro.constraints.tableau import PatternTuple, is_wildcard
+from repro.constraints.violations import CFDViolation, ViolationReport
+from repro.relational.database import Database
+from repro.relational.index import HashIndex
+from repro.relational.relation import Relation
+from repro.relational.sql.engine import SQLEngine
+from repro.relational.types import is_null
+
+
+class CFDDetector:
+    """Direct (index-based) CFD violation detection on one relation."""
+
+    def __init__(self, relation: Relation, cfds: Sequence[CFD],
+                 enumerate_pairs: bool = False) -> None:
+        for cfd in cfds:
+            cfd.validate_against(relation)
+        self._relation = relation
+        self._cfds = list(cfds)
+        self._enumerate_pairs = enumerate_pairs
+        self._indexes: dict[tuple[str, ...], HashIndex] = {}
+
+    # -- public ----------------------------------------------------------------
+
+    def detect(self) -> ViolationReport:
+        """Detect all violations of all configured CFDs."""
+        report = ViolationReport(self._relation.name, tuples_checked=len(self._relation))
+        for cfd in self._cfds:
+            report.extend(self.detect_one(cfd))
+        return report
+
+    def detect_one(self, cfd: CFD) -> list[CFDViolation]:
+        """Violations of a single CFD."""
+        violations: list[CFDViolation] = []
+        for pattern in cfd.tableau:
+            violations.extend(self._single_tuple_violations(cfd, pattern))
+            violations.extend(self._group_violations(cfd, pattern))
+        return violations
+
+    # -- single-tuple violations --------------------------------------------------
+
+    def _single_tuple_violations(self, cfd: CFD, pattern: PatternTuple) -> list[CFDViolation]:
+        constant_rhs = [a for a in cfd.rhs if pattern.is_constant_on(a)]
+        if not constant_rhs:
+            return []
+        violations = []
+        for row in self._relation:
+            if not pattern.matches(row, cfd.lhs):
+                continue
+            if not pattern.matches(row, constant_rhs):
+                violations.append(CFDViolation(cfd, pattern, (row.tid,)))
+        return violations
+
+    # -- group violations ----------------------------------------------------------
+
+    def _group_violations(self, cfd: CFD, pattern: PatternTuple) -> list[CFDViolation]:
+        variable_rhs = [a for a in cfd.rhs if not pattern.is_constant_on(a)]
+        if not variable_rhs:
+            return []
+        index = self._index_for(cfd.lhs)
+        violations: list[CFDViolation] = []
+        for key, tids in index.groups():
+            if len(tids) < 2:
+                continue
+            if any(is_null(value) for value in key):
+                continue
+            matching = [tid for tid in tids
+                        if pattern.matches(self._relation.tuple(tid), cfd.lhs)]
+            if len(matching) < 2:
+                continue
+            by_rhs: dict[tuple[Any, ...], list[int]] = defaultdict(list)
+            for tid in matching:
+                by_rhs[self._relation.tuple(tid).project(variable_rhs)].append(tid)
+            if len(by_rhs) <= 1:
+                continue
+            if self._enumerate_pairs:
+                buckets = list(by_rhs.values())
+                for i, bucket in enumerate(buckets):
+                    for other in buckets[i + 1:]:
+                        for tid_a in bucket:
+                            for tid_b in other:
+                                violations.append(CFDViolation(cfd, pattern, (tid_a, tid_b)))
+            else:
+                violations.append(CFDViolation(cfd, pattern, tuple(sorted(matching))))
+        return violations
+
+    def _index_for(self, attributes: tuple[str, ...]) -> HashIndex:
+        if attributes not in self._indexes or self._indexes[attributes].is_stale():
+            self._indexes[attributes] = HashIndex(self._relation, list(attributes))
+        return self._indexes[attributes]
+
+
+def detect_cfd_violations(relation: Relation, cfds: Sequence[CFD],
+                          enumerate_pairs: bool = False) -> ViolationReport:
+    """Convenience wrapper around :class:`CFDDetector`."""
+    return CFDDetector(relation, cfds, enumerate_pairs=enumerate_pairs).detect()
+
+
+class SQLCFDDetector:
+    """SQL-generation based CFD detection (the Semandaq approach).
+
+    For every CFD and pattern two queries are generated:
+
+    * ``Q_single`` selects the tuples matching the pattern's LHS constants
+      whose RHS disagrees with the pattern's RHS constants;
+    * ``Q_group`` groups the tuples matching the LHS constants by the LHS
+      attributes and keeps groups with more than one distinct RHS value.
+
+    The queries are executed on :class:`~repro.relational.sql.engine.SQLEngine`;
+    the group query's keys are mapped back to tuple ids with a hash index
+    so the report matches the direct detector's exactly.
+    """
+
+    def __init__(self, database: Database, cfds: Sequence[CFD]) -> None:
+        self._database = database
+        self._engine = SQLEngine(database)
+        self._cfds = list(cfds)
+
+    # -- SQL generation -----------------------------------------------------------
+
+    @staticmethod
+    def _quote(value: Any) -> str:
+        return "'" + str(value).replace("'", "''") + "'"
+
+    def single_tuple_sql(self, cfd: CFD, pattern: PatternTuple) -> str | None:
+        """The single-tuple violation query, or ``None`` when not applicable."""
+        constant_rhs = [a for a in cfd.rhs if pattern.is_constant_on(a)]
+        if not constant_rhs:
+            return None
+        conditions = [
+            f"t.{attribute} = {self._quote(pattern.constant(attribute))}"
+            for attribute in cfd.lhs if pattern.is_constant_on(attribute)
+        ]
+        rhs_disagrees = [
+            f"(t.{attribute} <> {self._quote(pattern.constant(attribute))}"
+            f" OR t.{attribute} IS NULL)"
+            for attribute in constant_rhs
+        ]
+        where = " AND ".join(conditions + ["(" + " OR ".join(rhs_disagrees) + ")"]) \
+            if conditions else "(" + " OR ".join(rhs_disagrees) + ")"
+        return f"SELECT t.* FROM {cfd.relation_name} t WHERE {where}"
+
+    def group_sql(self, cfd: CFD, pattern: PatternTuple) -> str | None:
+        """The group (pair) violation query, or ``None`` when not applicable."""
+        variable_rhs = [a for a in cfd.rhs if not pattern.is_constant_on(a)]
+        if not variable_rhs:
+            return None
+        conditions = [
+            f"t.{attribute} = {self._quote(pattern.constant(attribute))}"
+            for attribute in cfd.lhs if pattern.is_constant_on(attribute)
+        ]
+        null_guards = [f"t.{attribute} IS NOT NULL" for attribute in cfd.lhs]
+        where = " AND ".join(conditions + null_guards)
+        group_cols = ", ".join(f"t.{attribute}" for attribute in cfd.lhs)
+        select_cols = ", ".join(f"t.{a} AS {a}" for a in cfd.lhs)
+        having = " OR ".join(
+            f"COUNT(DISTINCT t.{attribute}) > 1" for attribute in variable_rhs
+        )
+        where_clause = f" WHERE {where}" if where else ""
+        return (f"SELECT {select_cols}, COUNT(*) AS cnt FROM {cfd.relation_name} t"
+                f"{where_clause} GROUP BY {group_cols} HAVING {having}")
+
+    def generated_queries(self) -> list[str]:
+        """All generated SQL texts (useful for inspection and tests)."""
+        queries = []
+        for cfd in self._cfds:
+            for pattern in cfd.tableau:
+                for sql in (self.single_tuple_sql(cfd, pattern), self.group_sql(cfd, pattern)):
+                    if sql is not None:
+                        queries.append(sql)
+        return queries
+
+    # -- execution -------------------------------------------------------------------
+
+    def detect(self) -> ViolationReport:
+        """Run the generated queries and assemble a violation report."""
+        relation_names = {cfd.relation_name for cfd in self._cfds}
+        report_name = next(iter(relation_names)) if len(relation_names) == 1 else "multiple"
+        total = sum(len(self._database.relation(name)) for name in relation_names)
+        report = ViolationReport(report_name, tuples_checked=total)
+
+        for cfd in self._cfds:
+            relation = self._database.relation(cfd.relation_name)
+            index = HashIndex(relation, list(cfd.lhs))
+            for pattern in cfd.tableau:
+                single_sql = self.single_tuple_sql(cfd, pattern)
+                if single_sql is not None:
+                    result = self._engine.query(single_sql)
+                    matched = self._match_back_single(relation, cfd, pattern, result)
+                    report.extend(matched)
+                group_sql = self.group_sql(cfd, pattern)
+                if group_sql is not None:
+                    result = self._engine.query(group_sql)
+                    report.extend(self._match_back_groups(relation, index, cfd, pattern, result))
+        return report
+
+    def _match_back_single(self, relation: Relation, cfd: CFD, pattern: PatternTuple,
+                           result: Relation) -> list[CFDViolation]:
+        """Map single-tuple query rows back to tuple ids by value equality."""
+        violations = []
+        wanted = {tuple(row.values) for row in result}
+        if not wanted:
+            return violations
+        for row in relation:
+            if tuple(row.values) in wanted and pattern.matches(row, cfd.lhs) \
+                    and not pattern.matches(row, [a for a in cfd.rhs if pattern.is_constant_on(a)]):
+                violations.append(CFDViolation(cfd, pattern, (row.tid,)))
+        return violations
+
+    def _match_back_groups(self, relation: Relation, index: HashIndex, cfd: CFD,
+                           pattern: PatternTuple, result: Relation) -> list[CFDViolation]:
+        variable_rhs = [a for a in cfd.rhs if not pattern.is_constant_on(a)]
+        violations = []
+        for row in result:
+            key = tuple(row[a] for a in cfd.lhs)
+            tids = sorted(index.lookup(key))
+            matching = [tid for tid in tids
+                        if pattern.matches(relation.tuple(tid), cfd.lhs)]
+            if len(matching) < 2:
+                continue
+            distinct_rhs = {relation.tuple(tid).project(variable_rhs) for tid in matching}
+            if len(distinct_rhs) > 1:
+                violations.append(CFDViolation(cfd, pattern, tuple(matching)))
+        return violations

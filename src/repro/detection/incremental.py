@@ -1,0 +1,188 @@
+"""Incremental CFD violation detection.
+
+Re-running full detection after every change is wasteful when updates are
+small — one of the open problems the tutorial lists (§6(d)) and evaluated
+by the incremental-detection experiments of Fan et al.  The idea: a CFD
+violation can only appear or disappear inside the *group* of tuples that
+agree on the embedded FD's LHS with an inserted or deleted tuple, so only
+those groups need re-checking.
+
+:class:`IncrementalCFDDetector` keeps, per embedded FD, a hash index on
+the LHS and a map ``group key → violations``; :meth:`insert_tuple` and
+:meth:`delete_tuple` update only the affected group and return the
+violation delta.  The global report is always available via
+:meth:`current_report` and is kept equal to what full re-detection would
+produce (verified by tests and by experiment E4).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Mapping, Sequence
+
+from repro.constraints.cfd import CFD, merge_cfds
+from repro.constraints.violations import CFDViolation, ViolationReport
+from repro.relational.index import HashIndex
+from repro.relational.relation import Relation
+from repro.relational.types import is_null
+
+
+class IncrementalCFDDetector:
+    """Maintains CFD violations of a relation under inserts and deletes."""
+
+    def __init__(self, relation: Relation, cfds: Sequence[CFD]) -> None:
+        for cfd in cfds:
+            cfd.validate_against(relation)
+        self._relation = relation
+        self._merged = merge_cfds(cfds)
+        self._indexes: dict[int, HashIndex] = {}
+        # per merged CFD: group key -> list of violations found in that group
+        self._group_violations: dict[int, dict[tuple[Any, ...], list[CFDViolation]]] = {}
+        # single-tuple violations per merged CFD, keyed by tid
+        self._single_violations: dict[int, dict[int, list[CFDViolation]]] = {}
+        self._build()
+
+    # -- initial build -----------------------------------------------------------
+
+    def _build(self) -> None:
+        for position, cfd in enumerate(self._merged):
+            index = HashIndex(self._relation, list(cfd.lhs))
+            self._indexes[position] = index
+            group_map: dict[tuple[Any, ...], list[CFDViolation]] = {}
+            for key, tids in index.groups():
+                found = self._check_group(cfd, key, tids)
+                if found:
+                    group_map[key] = found
+            self._group_violations[position] = group_map
+            singles: dict[int, list[CFDViolation]] = defaultdict(list)
+            for row in self._relation:
+                for violation in self._check_single(cfd, row):
+                    singles[row.tid].append(violation)
+            self._single_violations[position] = dict(singles)
+
+    # -- checking helpers -----------------------------------------------------------
+
+    def _check_single(self, cfd: CFD, row) -> list[CFDViolation]:
+        violations = []
+        for pattern in cfd.tableau:
+            constant_rhs = [a for a in cfd.rhs if pattern.is_constant_on(a)]
+            if not constant_rhs:
+                continue
+            if pattern.matches(row, cfd.lhs) and not pattern.matches(row, constant_rhs):
+                violations.append(CFDViolation(cfd, pattern, (row.tid,)))
+        return violations
+
+    def _check_group(self, cfd: CFD, key: tuple[Any, ...], tids: set[int]) -> list[CFDViolation]:
+        if len(tids) < 2 or any(is_null(v) for v in key):
+            return []
+        rows = [self._relation.tuple(tid) for tid in sorted(tids)]
+        violations = []
+        for pattern in cfd.tableau:
+            variable_rhs = [a for a in cfd.rhs if not pattern.is_constant_on(a)]
+            if not variable_rhs:
+                continue
+            matching = [row for row in rows if pattern.matches(row, cfd.lhs)]
+            if len(matching) < 2:
+                continue
+            distinct = {row.project(variable_rhs) for row in matching}
+            if len(distinct) > 1:
+                violations.append(
+                    CFDViolation(cfd, pattern, tuple(sorted(row.tid for row in matching))))
+        return violations
+
+    # -- updates ------------------------------------------------------------------------
+
+    def insert_tuple(self, values: Mapping[str, Any]) -> list[CFDViolation]:
+        """Insert a new tuple into the relation and return the *new* violations."""
+        tid = self._relation.insert_dict(values)
+        return self._after_insert(tid)
+
+    def notify_inserted(self, tid: int) -> list[CFDViolation]:
+        """Register an externally inserted tuple (already in the relation)."""
+        return self._after_insert(tid)
+
+    def _after_insert(self, tid: int) -> list[CFDViolation]:
+        row = self._relation.tuple(tid)
+        new_violations: list[CFDViolation] = []
+        for position, cfd in enumerate(self._merged):
+            index = self._indexes[position]
+            index.add_tuple(row)
+            singles = self._check_single(cfd, row)
+            if singles:
+                self._single_violations[position][tid] = singles
+                new_violations.extend(singles)
+            key = index.key_of(row)
+            previous = self._group_violations[position].get(key, [])
+            current = self._check_group(cfd, key, index.lookup(key))
+            if current:
+                self._group_violations[position][key] = current
+            else:
+                self._group_violations[position].pop(key, None)
+            new_violations.extend(v for v in current if v not in previous)
+        return new_violations
+
+    def delete_tuple(self, tid: int) -> list[CFDViolation]:
+        """Delete a tuple and return the violations that *disappeared*."""
+        row = self._relation.tuple(tid)
+        removed: list[CFDViolation] = []
+        for position, cfd in enumerate(self._merged):
+            index = self._indexes[position]
+            key = index.key_of(row)
+            index.remove_tuple(row)
+            gone_singles = self._single_violations[position].pop(tid, [])
+            removed.extend(gone_singles)
+            previous = self._group_violations[position].get(key, [])
+            remaining_tids = index.lookup(key)
+            current = self._check_group(cfd, key, remaining_tids) if remaining_tids else []
+            if current:
+                self._group_violations[position][key] = current
+            else:
+                self._group_violations[position].pop(key, None)
+            removed.extend(v for v in previous if v not in current)
+        self._relation.delete(tid)
+        return removed
+
+    def update_cell(self, tid: int, attribute: str, value: Any) -> list[CFDViolation]:
+        """Update one cell; implemented as delete + re-insert of the tuple's groups."""
+        row = self._relation.tuple(tid)
+        for position in range(len(self._merged)):
+            self._indexes[position].remove_tuple(row)
+        self._relation.update(tid, attribute, value)
+        refreshed = self._relation.tuple(tid)
+        changed: list[CFDViolation] = []
+        for position, cfd in enumerate(self._merged):
+            index = self._indexes[position]
+            index.add_tuple(refreshed)
+            # re-check the old and new groups plus the tuple's single violations
+            self._single_violations[position].pop(tid, None)
+            singles = self._check_single(cfd, refreshed)
+            if singles:
+                self._single_violations[position][tid] = singles
+                changed.extend(singles)
+            for key in {index.key_of(row), index.key_of(refreshed)}:
+                tids = index.lookup(key)
+                current = self._check_group(cfd, key, tids) if tids else []
+                if current:
+                    self._group_violations[position][key] = current
+                    changed.extend(current)
+                else:
+                    self._group_violations[position].pop(key, None)
+        return changed
+
+    # -- reporting ------------------------------------------------------------------------
+
+    def current_report(self) -> ViolationReport:
+        """The full violation report reflecting all updates so far."""
+        report = ViolationReport(self._relation.name, tuples_checked=len(self._relation))
+        for position in range(len(self._merged)):
+            for violations in self._single_violations[position].values():
+                report.extend(violations)
+            for violations in self._group_violations[position].values():
+                report.extend(violations)
+        return report
+
+    def recompute_full(self) -> ViolationReport:
+        """Full re-detection from scratch (the baseline incremental detection beats)."""
+        from repro.detection.batch import BatchCFDDetector
+
+        return BatchCFDDetector(self._relation, list(self._merged)).detect()

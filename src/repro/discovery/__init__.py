@@ -1,0 +1,33 @@
+"""Constraint discovery (profiling).
+
+The tutorial lists *profiling* — discovering meta-data, in particular
+dependencies, from sample data — among the core data-quality activities.
+This package discovers constraints from (reasonably clean) data:
+
+* :mod:`repro.discovery.partitions` — stripped partitions, the data
+  structure behind TANE-style discovery;
+* :mod:`repro.discovery.fd_discovery` — levelwise discovery of minimal
+  functional dependencies;
+* :mod:`repro.discovery.itemsets` — frequent / closed / free itemset
+  mining over ``attribute = value`` items;
+* :mod:`repro.discovery.cfd_discovery` — CFDMiner-style discovery of
+  constant CFDs plus conditional refinement of FDs that do not hold
+  globally into variable CFDs with constant conditioning patterns.
+"""
+
+from repro.discovery.partitions import Partition, partition_of
+from repro.discovery.fd_discovery import FDDiscovery, discover_fds
+from repro.discovery.itemsets import ItemsetMiner, Itemset
+from repro.discovery.cfd_discovery import CFDDiscovery, discover_constant_cfds, discover_cfds
+
+__all__ = [
+    "Partition",
+    "partition_of",
+    "FDDiscovery",
+    "discover_fds",
+    "ItemsetMiner",
+    "Itemset",
+    "CFDDiscovery",
+    "discover_constant_cfds",
+    "discover_cfds",
+]

@@ -1,0 +1,149 @@
+"""CFD discovery: constant CFDs via CFDMiner and variable CFDs via conditional refinement.
+
+Two discovery procedures are provided, mirroring the profiling activities
+the tutorial mentions (§2):
+
+* **Constant CFDs** (:func:`discover_constant_cfds`, the CFDMiner idea):
+  for every *free* frequent itemset ``X`` and every item ``(A, a)`` in the
+  closure of ``X`` but not in ``X`` (with ``A`` not among ``X``'s
+  attributes), the constant CFD ``(attrs(X) → A, (values(X) ‖ a))`` holds
+  with support ``supp(X)``.
+
+* **Variable CFDs by conditional refinement**
+  (:meth:`CFDDiscovery.discover_variable_cfds`): for every candidate FD
+  ``X → A`` that does *not* hold globally, try conditioning on a constant
+  pattern for one attribute ``B ∈ X``; if the FD holds on the subset
+  matching ``B = b`` with enough support, the CFD
+  ``(X → A, (B=b, _ ... ‖ _))`` is emitted.  This is a pragmatic subset of
+  full CTANE (which explores arbitrary pattern tableaux); DESIGN.md calls
+  out the simplification.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from typing import Sequence
+
+from repro.constraints.cfd import CFD
+from repro.constraints.tableau import PatternTuple
+from repro.discovery.fd_discovery import FDDiscovery
+from repro.discovery.itemsets import ItemsetMiner
+from repro.discovery.partitions import partition_of
+from repro.errors import DiscoveryError
+from repro.relational.index import HashIndex
+from repro.relational.relation import Relation
+from repro.relational.types import is_null
+
+
+class CFDDiscovery:
+    """Discovers constant and variable CFDs from a relation."""
+
+    def __init__(self, relation: Relation, min_support: int = 3,
+                 max_lhs_size: int = 2) -> None:
+        if min_support < 1:
+            raise DiscoveryError("min_support must be at least 1")
+        if max_lhs_size < 1:
+            raise DiscoveryError("max_lhs_size must be at least 1")
+        self._relation = relation
+        self._min_support = min_support
+        self._max_lhs_size = max_lhs_size
+        self._attributes = [a.lower() for a in relation.schema.attribute_names]
+
+    # -- constant CFDs (CFDMiner) --------------------------------------------------
+
+    def discover_constant_cfds(self) -> list[CFD]:
+        """Constant CFDs with support at least ``min_support``."""
+        miner = ItemsetMiner(self._relation, min_support=self._min_support,
+                             max_size=self._max_lhs_size)
+        discovered: list[CFD] = []
+        seen: set[tuple] = set()
+        for itemset in miner.free_itemsets():
+            closure = miner.closure_of(itemset.items)
+            lhs_attributes = sorted(itemset.attributes())
+            lhs_constants = {attribute: value for attribute, value in itemset.items}
+            for attribute, value in sorted(closure - itemset.items):
+                if attribute in lhs_attributes:
+                    continue
+                key = (tuple(lhs_attributes), tuple(sorted(lhs_constants.items())),
+                       attribute, value)
+                if key in seen:
+                    continue
+                seen.add(key)
+                pattern = dict(lhs_constants)
+                pattern[attribute] = value
+                discovered.append(CFD(self._relation.name, lhs_attributes, [attribute],
+                                      [PatternTuple(pattern)],
+                                      name=f"const_{len(discovered)}"))
+        return discovered
+
+    # -- variable CFDs by conditional refinement -------------------------------------
+
+    def discover_variable_cfds(self) -> list[CFD]:
+        """Variable CFDs: FDs that fail globally but hold on a conditioned subset."""
+        discovered: list[CFD] = []
+        candidates = self._candidate_fds()
+        for lhs, rhs in candidates:
+            if self._fd_holds(lhs, rhs):
+                # a plain FD: emit it as an all-wildcard CFD
+                discovered.append(CFD(self._relation.name, sorted(lhs), [rhs],
+                                      name=f"fd_{len(discovered)}"))
+                continue
+            discovered.extend(self._refine(lhs, rhs, len(discovered)))
+        return discovered
+
+    def discover(self) -> list[CFD]:
+        """Constant plus variable CFDs."""
+        return self.discover_constant_cfds() + self.discover_variable_cfds()
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _candidate_fds(self) -> list[tuple[frozenset[str], str]]:
+        candidates = []
+        for size in range(1, self._max_lhs_size + 1):
+            for lhs in itertools.combinations(self._attributes, size):
+                for rhs in self._attributes:
+                    if rhs not in lhs:
+                        candidates.append((frozenset(lhs), rhs))
+        return candidates
+
+    def _fd_holds(self, lhs: frozenset[str], rhs: str) -> bool:
+        coarse = partition_of(self._relation, sorted(lhs))
+        fine = partition_of(self._relation, sorted(lhs | {rhs}))
+        return coarse.refines_without_splitting(fine)
+
+    def _refine(self, lhs: frozenset[str], rhs: str, offset: int) -> list[CFD]:
+        """Condition the failed FD on constants of one LHS attribute."""
+        refined: list[CFD] = []
+        lhs_list = sorted(lhs)
+        for conditioning in lhs_list:
+            index = HashIndex(self._relation, [conditioning])
+            for (value,), tids in index.groups():
+                if is_null(value) or len(tids) < self._min_support:
+                    continue
+                if self._holds_on_subset(lhs_list, rhs, tids):
+                    refined.append(CFD(
+                        self._relation.name, lhs_list, [rhs],
+                        [PatternTuple({conditioning: value})],
+                        name=f"cond_{offset + len(refined)}"))
+        return refined
+
+    def _holds_on_subset(self, lhs: Sequence[str], rhs: str, tids: set[int]) -> bool:
+        groups: dict[tuple, set[str]] = defaultdict(set)
+        for tid in tids:
+            row = self._relation.tuple(tid)
+            key = tuple(str(row[a]) for a in lhs)
+            groups[key].add(str(row[rhs]))
+        return all(len(values) == 1 for values in groups.values())
+
+
+def discover_constant_cfds(relation: Relation, min_support: int = 3,
+                           max_lhs_size: int = 2) -> list[CFD]:
+    """Convenience wrapper: constant CFDs only."""
+    return CFDDiscovery(relation, min_support, max_lhs_size).discover_constant_cfds()
+
+
+def discover_cfds(relation: Relation, min_support: int = 3,
+                  max_lhs_size: int = 2) -> list[CFD]:
+    """Convenience wrapper: constant plus variable CFDs."""
+    return CFDDiscovery(relation, min_support, max_lhs_size).discover()

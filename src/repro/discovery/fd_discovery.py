@@ -1,0 +1,97 @@
+"""Levelwise (TANE-style) discovery of minimal functional dependencies.
+
+The search walks the lattice of attribute sets level by level.  At level
+``k`` every candidate set ``X`` of size ``k`` is tested: for each ``A ∈ X``
+the FD ``X \\ {A} → A`` holds iff the stripped partitions of ``X \\ {A}``
+and ``X`` have the same error.  Minimality pruning: once ``Y → A`` is
+emitted, no superset of ``Y`` is reported for the same RHS.
+
+An optional ``max_lhs_size`` bounds the level (the experiments only need
+small left-hand sides), and ``approximate_error`` allows *approximate* FDs
+— dependencies violated by at most a fraction of tuples — which is what
+discovery on dirty data requires.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from repro.constraints.fd import FunctionalDependency
+from repro.discovery.partitions import Partition, partition_of
+from repro.errors import DiscoveryError
+from repro.relational.relation import Relation
+
+
+class FDDiscovery:
+    """Discovers minimal FDs of a relation."""
+
+    def __init__(self, relation: Relation, max_lhs_size: int = 3,
+                 approximate_error: float = 0.0) -> None:
+        if max_lhs_size < 1:
+            raise DiscoveryError("max_lhs_size must be at least 1")
+        if not 0.0 <= approximate_error < 1.0:
+            raise DiscoveryError("approximate_error must be in [0, 1)")
+        self._relation = relation
+        self._attributes = [a.lower() for a in relation.schema.attribute_names]
+        self._max_lhs_size = min(max_lhs_size, len(self._attributes) - 1)
+        self._approximate_error = approximate_error
+        self._partitions: dict[frozenset[str], Partition] = {}
+
+    # -- partitions --------------------------------------------------------------
+
+    def _partition(self, attributes: frozenset[str]) -> Partition:
+        if attributes not in self._partitions:
+            self._partitions[attributes] = partition_of(self._relation, sorted(attributes))
+        return self._partitions[attributes]
+
+    def _holds(self, lhs: frozenset[str], rhs: str) -> bool:
+        coarse = self._partition(lhs)
+        fine = self._partition(lhs | {rhs})
+        if self._approximate_error == 0.0:
+            return coarse.refines_without_splitting(fine)
+        total = max(len(self._relation), 1)
+        return (coarse.error - fine.error) / total <= self._approximate_error
+
+    # -- discovery -----------------------------------------------------------------
+
+    def discover(self) -> list[FunctionalDependency]:
+        """All minimal FDs with LHS size up to ``max_lhs_size``."""
+        if len(self._relation) == 0:
+            return []
+        found: list[FunctionalDependency] = []
+        # found_lhs[rhs] = list of minimal LHS sets already emitted for rhs
+        found_lhs: dict[str, list[frozenset[str]]] = {a: [] for a in self._attributes}
+
+        for size in range(1, self._max_lhs_size + 1):
+            for lhs_tuple in itertools.combinations(self._attributes, size):
+                lhs = frozenset(lhs_tuple)
+                for rhs in self._attributes:
+                    if rhs in lhs:
+                        continue
+                    if any(existing <= lhs for existing in found_lhs[rhs]):
+                        continue  # a smaller LHS already determines rhs
+                    if self._holds(lhs, rhs):
+                        found_lhs[rhs].append(lhs)
+                        found.append(FunctionalDependency(
+                            self._relation.name, sorted(lhs), [rhs]))
+        return found
+
+    def keys(self) -> list[tuple[str, ...]]:
+        """Minimal candidate keys with up to ``max_lhs_size`` attributes."""
+        result: list[tuple[str, ...]] = []
+        for size in range(1, self._max_lhs_size + 1):
+            for combination in itertools.combinations(self._attributes, size):
+                candidate = frozenset(combination)
+                if any(set(existing) <= candidate for existing in result):
+                    continue
+                if self._partition(candidate).error == 0:
+                    result.append(tuple(sorted(candidate)))
+        return result
+
+
+def discover_fds(relation: Relation, max_lhs_size: int = 3,
+                 approximate_error: float = 0.0) -> list[FunctionalDependency]:
+    """Convenience wrapper around :class:`FDDiscovery`."""
+    return FDDiscovery(relation, max_lhs_size=max_lhs_size,
+                       approximate_error=approximate_error).discover()

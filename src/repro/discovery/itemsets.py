@@ -1,0 +1,137 @@
+"""Frequent, closed and free itemset mining over ``attribute = value`` items.
+
+CFDMiner reduces constant-CFD discovery to the relationship between *free*
+(generator) itemsets and their *closures*: an item in the closure of a
+free itemset but not in the itemset itself is determined by it.  The miner
+here is a straightforward Apriori-style levelwise search — adequate for
+the relation sizes of the experiments — with helpers for closures and
+freeness.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import DiscoveryError
+from repro.relational.relation import Relation
+from repro.relational.types import is_null
+
+Item = tuple[str, str]
+"""An item is an (attribute, value) pair (values compared as strings)."""
+
+
+@dataclass(frozen=True)
+class Itemset:
+    """A set of items together with its support (number of matching tuples)."""
+
+    items: frozenset[Item]
+    support: int
+
+    def attributes(self) -> set[str]:
+        return {attribute for attribute, _ in self.items}
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(f"{a}={v}" for a, v in sorted(self.items))
+        return f"Itemset({{{rendered}}}, support={self.support})"
+
+
+class ItemsetMiner:
+    """Apriori-style miner over one relation."""
+
+    def __init__(self, relation: Relation, min_support: int = 2, max_size: int = 3) -> None:
+        if min_support < 1:
+            raise DiscoveryError("min_support must be at least 1")
+        if max_size < 1:
+            raise DiscoveryError("max_size must be at least 1")
+        self._relation = relation
+        self._min_support = min_support
+        self._max_size = max_size
+        self._attributes = [a.lower() for a in relation.schema.attribute_names]
+        # transaction representation: tid -> {attribute: value}
+        self._transactions: dict[int, dict[str, str]] = {
+            row.tid: {a: str(row[a]) for a in self._attributes if not is_null(row[a])}
+            for row in relation
+        }
+
+    # -- support ----------------------------------------------------------------
+
+    def support_of(self, items: Iterable[Item]) -> int:
+        """Number of tuples containing every item."""
+        items = list(items)
+        count = 0
+        for transaction in self._transactions.values():
+            if all(transaction.get(attribute) == value for attribute, value in items):
+                count += 1
+        return count
+
+    def closure_of(self, items: Iterable[Item]) -> frozenset[Item]:
+        """All items present in *every* tuple containing *items*."""
+        items = list(items)
+        matching = [t for t in self._transactions.values()
+                    if all(t.get(a) == v for a, v in items)]
+        if not matching:
+            return frozenset(items)
+        closed: set[Item] = set()
+        first = matching[0]
+        for attribute, value in first.items():
+            if all(t.get(attribute) == value for t in matching):
+                closed.add((attribute, value))
+        return frozenset(closed | set(items))
+
+    def is_free(self, items: Iterable[Item]) -> bool:
+        """Whether no proper subset has the same support (generator itemset)."""
+        items = list(items)
+        support = self.support_of(items)
+        for index in range(len(items)):
+            subset = items[:index] + items[index + 1:]
+            if self.support_of(subset) == support:
+                return False
+        return True
+
+    # -- mining ------------------------------------------------------------------
+
+    def frequent_itemsets(self) -> list[Itemset]:
+        """All frequent itemsets up to ``max_size`` (levelwise Apriori)."""
+        # level 1
+        singleton_counts: dict[Item, int] = {}
+        for transaction in self._transactions.values():
+            for item in transaction.items():
+                singleton_counts[item] = singleton_counts.get(item, 0) + 1
+        current = {
+            frozenset([item]): count
+            for item, count in singleton_counts.items() if count >= self._min_support
+        }
+        result = [Itemset(items, support) for items, support in current.items()]
+
+        for _ in range(2, self._max_size + 1):
+            candidates: set[frozenset[Item]] = set()
+            frequent_keys = list(current.keys())
+            for i, left in enumerate(frequent_keys):
+                for right in frequent_keys[i + 1:]:
+                    union = left | right
+                    if len(union) != len(left) + 1:
+                        continue
+                    attributes = [a for a, _ in union]
+                    if len(set(attributes)) != len(attributes):
+                        continue  # two values for the same attribute never co-occur
+                    candidates.add(union)
+            next_level: dict[frozenset[Item], int] = {}
+            for candidate in candidates:
+                support = self.support_of(candidate)
+                if support >= self._min_support:
+                    next_level[candidate] = support
+            result.extend(Itemset(items, support) for items, support in next_level.items())
+            if not next_level:
+                break
+            current = next_level
+        return result
+
+    def free_itemsets(self) -> list[Itemset]:
+        """The frequent itemsets that are free (generators)."""
+        return [itemset for itemset in self.frequent_itemsets()
+                if self.is_free(itemset.items)]

@@ -1,0 +1,76 @@
+"""Stripped partitions — the core data structure of TANE-style FD discovery.
+
+The *partition* of a relation by an attribute set ``X`` groups tuple ids
+by their ``X`` values; the *stripped* partition drops singleton groups
+(they can never witness an FD violation).  Two facts drive discovery:
+
+* the FD ``X → A`` holds iff the partition by ``X`` refines the partition
+  by ``X ∪ {A}`` without splitting any group — equivalently, iff the two
+  partitions have the same *error* (number of tuples minus number of
+  groups);
+* the partition of ``X ∪ Y`` is the product of the partitions of ``X`` and
+  ``Y``, so partitions for larger attribute sets are computed
+  incrementally level by level.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from repro.relational.relation import Relation
+
+
+class Partition:
+    """A stripped partition: groups of tuple ids (singletons removed)."""
+
+    __slots__ = ("groups", "total_tuples")
+
+    def __init__(self, groups: Iterable[frozenset[int]], total_tuples: int) -> None:
+        self.groups = [frozenset(g) for g in groups if len(g) > 1]
+        self.total_tuples = total_tuples
+
+    @property
+    def group_count(self) -> int:
+        """Number of (non-singleton) groups."""
+        return len(self.groups)
+
+    @property
+    def error(self) -> int:
+        """``|stripped tuples| - |groups|``: 0 means X is a key (every group singleton)."""
+        return sum(len(g) for g in self.groups) - len(self.groups)
+
+    def refines_without_splitting(self, finer: "Partition") -> bool:
+        """Whether adding the extra attribute did not split any group.
+
+        ``self`` is the partition by ``X``; *finer* the partition by
+        ``X ∪ {A}``.  The FD ``X → A`` holds iff the errors coincide.
+        """
+        return self.error == finer.error
+
+    def product(self, other: "Partition") -> "Partition":
+        """The partition of the union of the two attribute sets."""
+        membership: dict[int, int] = {}
+        for index, group in enumerate(self.groups):
+            for tid in group:
+                membership[tid] = index
+        buckets: dict[tuple[int, int], set[int]] = defaultdict(set)
+        for index, group in enumerate(other.groups):
+            for tid in group:
+                if tid in membership:
+                    buckets[(membership[tid], index)].add(tid)
+        return Partition(
+            (frozenset(b) for b in buckets.values() if len(b) > 1), self.total_tuples)
+
+    def __repr__(self) -> str:
+        return f"Partition({self.group_count} groups, error={self.error})"
+
+
+def partition_of(relation: Relation, attributes: Sequence[str]) -> Partition:
+    """The stripped partition of *relation* by *attributes*."""
+    positions = relation.schema.positions(attributes)
+    buckets: dict[tuple, set[int]] = defaultdict(set)
+    for row in relation:
+        key = tuple(str(row.at(p)) for p in positions)
+        buckets[key].add(row.tid)
+    return Partition((frozenset(b) for b in buckets.values()), len(relation))

@@ -1,0 +1,68 @@
+"""Exception hierarchy shared across the ``repro`` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can distinguish library errors from
+programming mistakes with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every error raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed or an attribute does not exist."""
+
+
+class TypeMismatchError(ReproError):
+    """A value does not conform to the declared attribute type."""
+
+
+class RelationError(ReproError):
+    """Invalid operation on a relation (unknown tuple id, arity mismatch...)."""
+
+
+class CatalogError(ReproError):
+    """A database catalog lookup failed (unknown or duplicate relation)."""
+
+
+class SQLSyntaxError(ReproError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class SQLExecutionError(ReproError):
+    """A parsed SQL statement could not be executed."""
+
+
+class ConstraintError(ReproError):
+    """A constraint definition is malformed."""
+
+
+class ConstraintParseError(ConstraintError):
+    """The textual form of a constraint could not be parsed."""
+
+
+class InconsistentConstraintsError(ConstraintError):
+    """A set of constraints has no non-empty satisfying instance."""
+
+
+class RepairError(ReproError):
+    """Repairing failed (e.g. the constraint set is unsatisfiable)."""
+
+
+class DiscoveryError(ReproError):
+    """Constraint discovery was given invalid parameters."""
+
+
+class MatchingError(ReproError):
+    """Record matching was configured incorrectly."""
+
+
+class CQAError(ReproError):
+    """Consistent query answering failed."""

@@ -1,0 +1,50 @@
+"""Object identification (record matching) with relative candidate keys.
+
+Section 4 of the tutorial extends constraints with *similarity*: matching
+rules state which attribute comparisons (equality or ``≈``) suffice to
+conclude that two records refer to the same real-world entity, and
+**relative candidate keys** (RCKs) are the minimal comparison vectors
+deduced from those rules.  This package provides:
+
+* string similarity operators (:mod:`repro.matching.similarity`),
+* matching rules over a pair of relations (:mod:`repro.matching.rules`),
+* relative candidate keys and their deduction from rules
+  (:mod:`repro.matching.rck`, :mod:`repro.matching.derivation`),
+* a blocking record matcher applying RCKs to two relations
+  (:mod:`repro.matching.matcher`), and
+* match-quality evaluation against ground truth
+  (:mod:`repro.matching.evaluation`).
+"""
+
+from repro.matching.similarity import (
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    normalized_edit_similarity,
+    qgram_jaccard_similarity,
+    similarity,
+    token_jaccard_similarity,
+)
+from repro.matching.rules import Comparator, MatchingRule
+from repro.matching.rck import RelativeCandidateKey
+from repro.matching.derivation import derive_rcks
+from repro.matching.matcher import MatchDecision, RecordMatcher
+from repro.matching.evaluation import MatchQuality, evaluate_matching
+
+__all__ = [
+    "Comparator",
+    "MatchingRule",
+    "RelativeCandidateKey",
+    "derive_rcks",
+    "RecordMatcher",
+    "MatchDecision",
+    "MatchQuality",
+    "evaluate_matching",
+    "similarity",
+    "levenshtein_distance",
+    "normalized_edit_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "qgram_jaccard_similarity",
+    "token_jaccard_similarity",
+]

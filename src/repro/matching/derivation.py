@@ -1,0 +1,128 @@
+"""Deduction of relative candidate keys from matching rules.
+
+Given matching rules such as the tutorial's
+
+    (a) if phn = phn'                      then addr ⇌ addr'
+    (b) if email = email'                  then (fn, ln) ⇌ (fn, ln)
+    (c) if ln = ln', addr = addr', fn ≈ fn' then Y ⇌ Y'
+
+one can *deduce* comparison vectors that transitively entail a match on
+the full target list ``Y`` — the derived RCKs ``rck1`` and ``rck2`` of the
+tutorial.  The benefit: true matches can be found even when the attributes
+of one particular rule are dirty, because a different derived key applies.
+
+The deduction implemented here is a closure computation:
+
+1. a *candidate premise* (a set of comparators) is asserted;
+2. attribute pairs concluded to match are accumulated to a fixpoint — a
+   rule fires when each of its premise comparisons is entailed either by a
+   candidate comparator on the same attribute pair that is at least as
+   strong (``=`` entails ``≈``) or by an already-concluded match (a
+   concluded match behaves like equality);
+3. the candidate is an RCK when the fixpoint covers every pair of the
+   target list.
+
+Candidates are drawn from the comparators appearing in rule premises, and
+only minimal ones (no entailing proper subset) are kept.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from repro.errors import MatchingError
+from repro.matching.rck import RelativeCandidateKey
+from repro.matching.rules import Comparator, MatchingRule
+
+
+def _entails(candidate: Comparator, requirement: Comparator) -> bool:
+    """Whether asserting *candidate* satisfies the premise comparison *requirement*."""
+    if (candidate.left_attribute, candidate.right_attribute) != (
+            requirement.left_attribute, requirement.right_attribute):
+        return False
+    if requirement.is_similarity:
+        return True  # both '=' and '≈' assertions satisfy an '≈' requirement
+    return not candidate.is_similarity  # '=' requirements need an '=' assertion
+
+
+def concluded_matches(candidate: Iterable[Comparator],
+                      rules: Sequence[MatchingRule]) -> set[tuple[str, str]]:
+    """The fixpoint of attribute pairs concluded to match from *candidate*."""
+    candidate = list(candidate)
+    matched: set[tuple[str, str]] = set()
+    changed = True
+    while changed:
+        changed = False
+        for rule in rules:
+            if all(self_entailed(requirement, candidate, matched)
+                   for requirement in rule.comparators):
+                for pair in rule.concluded_pairs():
+                    if pair not in matched:
+                        matched.add(pair)
+                        changed = True
+    return matched
+
+
+def self_entailed(requirement: Comparator, candidate: Sequence[Comparator],
+                  matched: set[tuple[str, str]]) -> bool:
+    """Whether one premise comparison is satisfied by the candidate or by a derived match."""
+    pair = (requirement.left_attribute, requirement.right_attribute)
+    if pair in matched:
+        return True  # a concluded match is as good as equality
+    return any(_entails(asserted, requirement) for asserted in candidate)
+
+
+def entails_target(candidate: Iterable[Comparator], rules: Sequence[MatchingRule],
+                   target_pairs: Sequence[tuple[str, str]]) -> bool:
+    """Whether asserting *candidate* lets the rules conclude every target pair."""
+    matched = concluded_matches(candidate, rules)
+    candidate_pairs = {(c.left_attribute, c.right_attribute)
+                       for c in candidate if not c.is_similarity}
+    return all(pair in matched or pair in candidate_pairs for pair in target_pairs)
+
+
+def derive_rcks(rules: Sequence[MatchingRule], target: Sequence[str],
+                right_target: Sequence[str] | None = None,
+                max_size: int = 4) -> list[RelativeCandidateKey]:
+    """Derive minimal RCKs relative to *target* from *rules*.
+
+    ``target`` / ``right_target`` are the attribute lists ``Y`` / ``Y'``
+    (``right_target`` defaults to ``target``).  Candidates up to
+    *max_size* comparators are considered; the result keeps only minimal
+    keys and is sorted by arity (shorter keys first).
+    """
+    if not rules:
+        raise MatchingError("derive_rcks needs at least one matching rule")
+    left_target = tuple(a.lower() for a in target)
+    resolved_right = tuple(a.lower() for a in (right_target or target))
+    if len(left_target) != len(resolved_right):
+        raise MatchingError("target lists must have the same length")
+    target_pairs = list(zip(left_target, resolved_right))
+
+    # candidate pool: every premise comparator (deduplicated)
+    pool: list[Comparator] = []
+    seen: set[tuple] = set()
+    for rule in rules:
+        for comparator in rule.comparators:
+            key = (comparator.left_attribute, comparator.right_attribute, comparator.operator)
+            if key not in seen:
+                seen.add(key)
+                pool.append(comparator)
+
+    found: list[RelativeCandidateKey] = []
+    for size in range(1, min(max_size, len(pool)) + 1):
+        for combination in itertools.combinations(pool, size):
+            attribute_pairs = [(c.left_attribute, c.right_attribute) for c in combination]
+            if len(set(attribute_pairs)) != len(attribute_pairs):
+                continue  # two comparators on the same pair are never minimal
+            if not entails_target(combination, rules, target_pairs):
+                continue
+            candidate = RelativeCandidateKey(tuple(combination), left_target, resolved_right)
+            if any(existing.subsumes(candidate) for existing in found):
+                continue  # a smaller/weaker key already covers this one
+            found.append(candidate)
+    found.sort(key=lambda rck: (rck.arity(), repr(rck)))
+    for index, rck in enumerate(found, start=1):
+        object.__setattr__(rck, "name", f"rck{index}")
+    return found

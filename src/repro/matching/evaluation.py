@@ -1,0 +1,57 @@
+"""Match-quality evaluation against ground truth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass
+class MatchQuality:
+    """Precision / recall / F1 of a set of predicted matches."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "true_positives": self.true_positives,
+            "false_positives": self.false_positives,
+            "false_negatives": self.false_negatives,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+        }
+
+    def __repr__(self) -> str:
+        return (f"MatchQuality(precision={self.precision:.3f}, recall={self.recall:.3f}, "
+                f"f1={self.f1:.3f})")
+
+
+def evaluate_matching(predicted: Iterable[tuple[int, int]],
+                      truth: Iterable[tuple[int, int]]) -> MatchQuality:
+    """Compare predicted (left_tid, right_tid) pairs against the true pairs."""
+    predicted_set = set(predicted)
+    truth_set = set(truth)
+    true_positives = len(predicted_set & truth_set)
+    return MatchQuality(
+        true_positives=true_positives,
+        false_positives=len(predicted_set - truth_set),
+        false_negatives=len(truth_set - predicted_set),
+    )

@@ -1,0 +1,98 @@
+"""Relative candidate keys (RCKs).
+
+An RCK ``([A1..Ak], [B1..Bk] ‖ [⊙1..⊙k])`` relative to the attribute lists
+``(Y, Y')`` states: if for every ``i`` the comparison ``t[Ai] ⊙i t'[Bi]``
+holds (``⊙`` being ``=`` or a similarity ``≈``), then ``t[Y]`` and
+``t'[Y']`` refer to the same entity.  In contrast to a traditional
+candidate key an RCK (i) spans two relations, (ii) may use similarity
+rather than equality, and (iii) has a "match" rather than "key" semantics
+suited to unreliable data (§4 of the tutorial).
+
+The tutorial's examples::
+
+    rck1: ([email, addr], [email, addr] ‖ [=, =])
+    rck2: ([ln, phn, fn], [ln, phn, fn] ‖ [=, =, ≈])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import MatchingError
+from repro.matching.rules import Comparator
+
+
+@dataclass(frozen=True)
+class RelativeCandidateKey:
+    """A comparison vector sufficient to identify two records."""
+
+    comparators: tuple[Comparator, ...]
+    left_target: tuple[str, ...]
+    right_target: tuple[str, ...]
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.comparators:
+            raise MatchingError("an RCK needs at least one comparator")
+        if len(self.left_target) != len(self.right_target):
+            raise MatchingError("RCK target lists must have the same length")
+        object.__setattr__(self, "comparators", tuple(self.comparators))
+        object.__setattr__(self, "left_target", tuple(a.lower() for a in self.left_target))
+        object.__setattr__(self, "right_target", tuple(a.lower() for a in self.right_target))
+
+    @classmethod
+    def build(cls, comparators: Sequence[Comparator], target: Sequence[str],
+              name: str | None = None) -> "RelativeCandidateKey":
+        """RCK whose target uses the same attribute names on both relations."""
+        return cls(tuple(comparators), tuple(target), tuple(target), name=name)
+
+    # -- structure -------------------------------------------------------------
+
+    def attribute_pairs(self) -> tuple[tuple[str, str], ...]:
+        """The (left, right) attribute pairs this RCK compares."""
+        return tuple((c.left_attribute, c.right_attribute) for c in self.comparators)
+
+    def arity(self) -> int:
+        """Number of comparisons (the paper's key length)."""
+        return len(self.comparators)
+
+    def uses_similarity(self) -> bool:
+        """Whether any comparison is a similarity (``≈``) comparison."""
+        return any(c.is_similarity for c in self.comparators)
+
+    def subsumes(self, other: "RelativeCandidateKey") -> bool:
+        """Whether this RCK's premise is a (weaker-or-equal) subset of *other*'s.
+
+        Used for minimization: if ``self`` subsumes ``other`` then ``other``
+        is redundant.  Equality entails similarity on the same attribute
+        pair, so an ``=`` comparator in *other* satisfies a ``≈``
+        requirement of *self*.
+        """
+        for mine in self.comparators:
+            satisfied = False
+            for theirs in other.comparators:
+                same_pair = (mine.left_attribute == theirs.left_attribute
+                             and mine.right_attribute == theirs.right_attribute)
+                if not same_pair:
+                    continue
+                if mine.is_similarity or theirs.operator == "=":
+                    satisfied = True
+                    break
+            if not satisfied:
+                return False
+        return True
+
+    # -- semantics ------------------------------------------------------------------
+
+    def matches_pair(self, left_row, right_row) -> bool:
+        """Whether the two tuples satisfy every comparison of the RCK."""
+        return all(comparator.matches_pair(left_row, right_row)
+                   for comparator in self.comparators)
+
+    def __repr__(self) -> str:
+        lefts = ", ".join(c.left_attribute for c in self.comparators)
+        rights = ", ".join(c.right_attribute for c in self.comparators)
+        operators = ", ".join("=" if not c.is_similarity else "≈" for c in self.comparators)
+        label = f"{self.name}: " if self.name else ""
+        return f"{label}([{lefts}], [{rights}] ‖ [{operators}])"

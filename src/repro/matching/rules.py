@@ -1,0 +1,120 @@
+"""Matching rules over a pair of relations.
+
+A matching rule (the tutorial's rules (a)–(c)) has the form
+
+    if t[A1] ⊙1 t'[B1] and ... and t[Ak] ⊙k t'[Bk]  then  t[Y] ⇌ t'[Y']
+
+where each ``⊙`` is either equality or a similarity operator ``≈``, and
+the conclusion says the two tuples agree on (refer to the same entity via)
+the attribute lists ``Y`` / ``Y'``.  Rules are directional across two
+relations (e.g. ``card`` and ``billing``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.errors import MatchingError
+from repro.matching.similarity import similarity
+from repro.relational.types import is_null
+
+
+@dataclass(frozen=True)
+class Comparator:
+    """One comparison ``left_attribute ⊙ right_attribute``.
+
+    ``operator`` is ``"="`` for strict equality or ``"~"`` for similarity;
+    similarity comparisons carry the similarity *method* and a *threshold*.
+    """
+
+    left_attribute: str
+    right_attribute: str
+    operator: str = "="
+    method: str = "jaro_winkler"
+    threshold: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.operator not in ("=", "~"):
+            raise MatchingError(f"comparator operator must be '=' or '~', got {self.operator!r}")
+        if not (0.0 < self.threshold <= 1.0):
+            raise MatchingError("similarity threshold must be in (0, 1]")
+        object.__setattr__(self, "left_attribute", self.left_attribute.lower())
+        object.__setattr__(self, "right_attribute", self.right_attribute.lower())
+
+    @classmethod
+    def equality(cls, left_attribute: str, right_attribute: str | None = None) -> "Comparator":
+        """Equality comparator (right attribute defaults to the left one)."""
+        return cls(left_attribute, right_attribute or left_attribute, "=")
+
+    @classmethod
+    def similar(cls, left_attribute: str, right_attribute: str | None = None,
+                method: str = "jaro_winkler", threshold: float = 0.85) -> "Comparator":
+        """Similarity comparator (``≈``)."""
+        return cls(left_attribute, right_attribute or left_attribute, "~", method, threshold)
+
+    @property
+    def is_similarity(self) -> bool:
+        return self.operator == "~"
+
+    def compare(self, left_value: Any, right_value: Any) -> bool:
+        """Evaluate the comparison on two values (NULLs never compare true)."""
+        if is_null(left_value) or is_null(right_value):
+            return False
+        if self.operator == "=":
+            return str(left_value) == str(right_value)
+        return similarity(left_value, right_value, self.method) >= self.threshold
+
+    def matches_pair(self, left_row, right_row) -> bool:
+        """Evaluate the comparison on two tuples."""
+        return self.compare(left_row[self.left_attribute], right_row[self.right_attribute])
+
+    def __repr__(self) -> str:
+        symbol = "=" if self.operator == "=" else f"≈({self.method}≥{self.threshold})"
+        return f"({self.left_attribute} {symbol} {self.right_attribute})"
+
+
+@dataclass(frozen=True)
+class MatchingRule:
+    """``if <comparators> then (left_conclusion ⇌ right_conclusion)``."""
+
+    comparators: tuple[Comparator, ...]
+    left_conclusion: tuple[str, ...]
+    right_conclusion: tuple[str, ...]
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.comparators:
+            raise MatchingError("a matching rule needs at least one comparator")
+        if len(self.left_conclusion) != len(self.right_conclusion):
+            raise MatchingError("rule conclusions must have the same length on both sides")
+        object.__setattr__(self, "comparators", tuple(self.comparators))
+        object.__setattr__(self, "left_conclusion",
+                           tuple(a.lower() for a in self.left_conclusion))
+        object.__setattr__(self, "right_conclusion",
+                           tuple(a.lower() for a in self.right_conclusion))
+
+    @classmethod
+    def build(cls, comparators: Sequence[Comparator], conclusion: Sequence[str],
+              name: str | None = None) -> "MatchingRule":
+        """Rule whose conclusion uses the same attribute names on both sides."""
+        return cls(tuple(comparators), tuple(conclusion), tuple(conclusion), name=name)
+
+    def premise_attributes(self) -> tuple[tuple[str, str], ...]:
+        """The (left, right) attribute pairs compared by the premise."""
+        return tuple((c.left_attribute, c.right_attribute) for c in self.comparators)
+
+    def applies_to(self, left_row, right_row) -> bool:
+        """Whether the premise holds for the two tuples."""
+        return all(comparator.matches_pair(left_row, right_row)
+                   for comparator in self.comparators)
+
+    def concluded_pairs(self) -> tuple[tuple[str, str], ...]:
+        """The (left, right) attribute pairs the rule concludes to match."""
+        return tuple(zip(self.left_conclusion, self.right_conclusion))
+
+    def __repr__(self) -> str:
+        premise = " and ".join(repr(c) for c in self.comparators)
+        label = f"{self.name}: " if self.name else ""
+        return (f"{label}if {premise} then "
+                f"[{', '.join(self.left_conclusion)}] ⇌ [{', '.join(self.right_conclusion)}]")

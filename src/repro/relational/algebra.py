@@ -1,0 +1,340 @@
+"""Relational-algebra operators over :class:`~repro.relational.relation.Relation`.
+
+Each operator is a plain function taking relations (and, where relevant,
+expressions from :mod:`repro.relational.expressions`) and returning a new
+relation.  Join operators use hash joins on the equi-join attributes; the
+SQL executor is built on top of these operators.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.errors import RelationError, SchemaError
+from repro.relational.expressions import EvaluationContext, Expression, truth
+from repro.relational.relation import Relation, Tuple
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.types import NULL, AttributeType, is_null, sort_key
+
+
+# ---------------------------------------------------------------------------
+# unary operators
+# ---------------------------------------------------------------------------
+
+def select(relation: Relation, predicate: Expression | Callable[[Tuple], bool],
+           name: str | None = None) -> Relation:
+    """Selection: tuples of *relation* satisfying *predicate* (tids preserved)."""
+    if isinstance(predicate, Expression):
+        def keep(row: Tuple) -> bool:
+            return truth(predicate.evaluate(EvaluationContext.from_tuple(row)))
+    else:
+        keep = predicate
+    return relation.filter(keep, name=name)
+
+
+def project(relation: Relation, attribute_names: Sequence[str], name: str | None = None,
+            distinct: bool = True) -> Relation:
+    """Projection onto *attribute_names*; set semantics by default."""
+    return relation.project_relation(attribute_names, name=name, distinct=distinct)
+
+
+def rename(relation: Relation, mapping: Mapping[str, str], name: str | None = None) -> Relation:
+    """Rename attributes according to *mapping* (old → new)."""
+    target_schema = relation.schema.rename(mapping, name=name or relation.name)
+    result = Relation(target_schema)
+    for row in relation:
+        result.insert(list(row.values))
+    return result
+
+
+def extend(relation: Relation, new_attribute: str, attr_type: AttributeType,
+           compute: Callable[[Tuple], Any], name: str | None = None) -> Relation:
+    """Append a computed attribute to every tuple."""
+    target_schema = relation.schema.extend([Attribute(new_attribute, attr_type)],
+                                           name=name or relation.name)
+    result = Relation(target_schema)
+    for row in relation:
+        result.insert(list(row.values) + [compute(row)])
+    return result
+
+
+def distinct(relation: Relation, name: str | None = None) -> Relation:
+    """Duplicate elimination over all attributes."""
+    return relation.project_relation(relation.schema.attribute_names, name=name, distinct=True)
+
+
+def sort(relation: Relation, attribute_names: Sequence[str], descending: bool = False,
+         name: str | None = None) -> Relation:
+    """Return a relation whose insertion order follows the sort order."""
+    result = Relation(relation.schema if name is None else relation.schema.renamed_relation(name))
+    rows = relation.sorted_tuples(attribute_names)
+    if descending:
+        rows = list(reversed(rows))
+    for row in rows:
+        result.insert(list(row.values))
+    return result
+
+
+def limit(relation: Relation, count: int, name: str | None = None) -> Relation:
+    """First *count* tuples in insertion order."""
+    result = Relation(relation.schema if name is None else relation.schema.renamed_relation(name))
+    for i, row in enumerate(relation):
+        if i >= count:
+            break
+        result.insert(list(row.values))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# set operators
+# ---------------------------------------------------------------------------
+
+def _check_compatible(left: Relation, right: Relation) -> None:
+    if left.schema.arity != right.schema.arity:
+        raise SchemaError(
+            f"set operation requires equal arity: {left.name}({left.schema.arity}) vs "
+            f"{right.name}({right.schema.arity})"
+        )
+
+
+def union(left: Relation, right: Relation, name: str = "union") -> Relation:
+    """Set union (duplicates removed)."""
+    _check_compatible(left, right)
+    result = Relation(left.schema.renamed_relation(name))
+    seen: set[tuple[Any, ...]] = set()
+    for source in (left, right):
+        for row in source:
+            key = row.values
+            if key not in seen:
+                seen.add(key)
+                result.insert(list(key))
+    return result
+
+
+def difference(left: Relation, right: Relation, name: str = "difference") -> Relation:
+    """Set difference ``left - right``."""
+    _check_compatible(left, right)
+    right_rows = {row.values for row in right}
+    result = Relation(left.schema.renamed_relation(name))
+    seen: set[tuple[Any, ...]] = set()
+    for row in left:
+        key = row.values
+        if key not in right_rows and key not in seen:
+            seen.add(key)
+            result.insert(list(key))
+    return result
+
+
+def intersection(left: Relation, right: Relation, name: str = "intersection") -> Relation:
+    """Set intersection."""
+    _check_compatible(left, right)
+    right_rows = {row.values for row in right}
+    result = Relation(left.schema.renamed_relation(name))
+    seen: set[tuple[Any, ...]] = set()
+    for row in left:
+        key = row.values
+        if key in right_rows and key not in seen:
+            seen.add(key)
+            result.insert(list(key))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# joins
+# ---------------------------------------------------------------------------
+
+def _joined_schema(left: Relation, right: Relation, name: str) -> RelationSchema:
+    """Schema of a join result; clashing names get the relation name as prefix."""
+    left_names = {a.name.lower() for a in left.schema.attributes}
+    attrs: list[Attribute] = list(left.schema.attributes)
+    for attr in right.schema.attributes:
+        if attr.name.lower() in left_names:
+            attrs.append(Attribute(f"{right.name}_{attr.name}", attr.type))
+        else:
+            attrs.append(attr)
+    return RelationSchema(name, attrs)
+
+
+def cartesian_product(left: Relation, right: Relation, name: str = "product") -> Relation:
+    """Cartesian product (attribute clashes disambiguated with the right name)."""
+    result = Relation(_joined_schema(left, right, name))
+    for lrow in left:
+        for rrow in right:
+            result.insert(list(lrow.values) + list(rrow.values))
+    return result
+
+
+def equi_join(left: Relation, right: Relation,
+              left_attributes: Sequence[str], right_attributes: Sequence[str],
+              name: str = "join") -> Relation:
+    """Hash equi-join on the given attribute lists (NULL keys never match)."""
+    if len(left_attributes) != len(right_attributes):
+        raise RelationError("equi_join requires the same number of attributes on both sides")
+    result = Relation(_joined_schema(left, right, name))
+    right_positions = right.schema.positions(right_attributes)
+    buckets: dict[tuple[Any, ...], list[Tuple]] = defaultdict(list)
+    for rrow in right:
+        key = tuple(rrow.at(p) for p in right_positions)
+        if any(is_null(v) for v in key):
+            continue
+        buckets[key].append(rrow)
+    left_positions = left.schema.positions(left_attributes)
+    for lrow in left:
+        key = tuple(lrow.at(p) for p in left_positions)
+        if any(is_null(v) for v in key):
+            continue
+        for rrow in buckets.get(key, ()):
+            result.insert(list(lrow.values) + list(rrow.values))
+    return result
+
+
+def natural_join(left: Relation, right: Relation, name: str = "join") -> Relation:
+    """Equi-join on all attributes with the same name."""
+    common = [a for a in left.schema.attribute_names if right.schema.has_attribute(a)]
+    if not common:
+        return cartesian_product(left, right, name=name)
+    return equi_join(left, right, common, common, name=name)
+
+
+def left_anti_join(left: Relation, right: Relation,
+                   left_attributes: Sequence[str], right_attributes: Sequence[str],
+                   name: str = "anti_join") -> Relation:
+    """Tuples of *left* that have NO matching tuple in *right* (tids preserved).
+
+    This is the operator behind CIND violation detection: a CIND violation
+    is a left tuple matching the left pattern with no right partner.
+    Tuples with a NULL in the join key are treated as having no partner.
+    """
+    right_positions = right.schema.positions(right_attributes)
+    right_keys = set()
+    for rrow in right:
+        key = tuple(rrow.at(p) for p in right_positions)
+        if any(is_null(v) for v in key):
+            continue
+        right_keys.add(key)
+    left_positions = left.schema.positions(left_attributes)
+
+    def keep(row: Tuple) -> bool:
+        key = tuple(row.at(p) for p in left_positions)
+        if any(is_null(v) for v in key):
+            return True
+        return key not in right_keys
+
+    return left.filter(keep, name=name)
+
+
+def left_semi_join(left: Relation, right: Relation,
+                   left_attributes: Sequence[str], right_attributes: Sequence[str],
+                   name: str = "semi_join") -> Relation:
+    """Tuples of *left* that DO have a matching tuple in *right* (tids preserved)."""
+    right_positions = right.schema.positions(right_attributes)
+    right_keys = set()
+    for rrow in right:
+        key = tuple(rrow.at(p) for p in right_positions)
+        if any(is_null(v) for v in key):
+            continue
+        right_keys.add(key)
+    left_positions = left.schema.positions(left_attributes)
+
+    def keep(row: Tuple) -> bool:
+        key = tuple(row.at(p) for p in left_positions)
+        if any(is_null(v) for v in key):
+            return False
+        return key in right_keys
+
+    return left.filter(keep, name=name)
+
+
+# ---------------------------------------------------------------------------
+# grouping and aggregation
+# ---------------------------------------------------------------------------
+
+class Aggregate:
+    """Specification of one aggregate: function, input attribute, output name."""
+
+    SUPPORTED = ("count", "count_distinct", "sum", "min", "max", "avg")
+
+    def __init__(self, function: str, attribute: str | None, output_name: str | None = None) -> None:
+        function = function.lower()
+        if function not in self.SUPPORTED:
+            raise RelationError(f"unsupported aggregate function {function!r}")
+        if function != "count" and attribute is None:
+            raise RelationError(f"aggregate {function!r} requires an attribute")
+        self.function = function
+        self.attribute = attribute
+        self.output_name = output_name or (
+            f"{function}_{attribute}" if attribute else "count"
+        )
+
+    def output_type(self) -> AttributeType:
+        if self.function in ("count", "count_distinct"):
+            return AttributeType.INTEGER
+        if self.function == "avg":
+            return AttributeType.FLOAT
+        return AttributeType.FLOAT if self.function == "sum" else AttributeType.STRING
+
+    def compute(self, rows: list[Tuple]) -> Any:
+        if self.function == "count":
+            if self.attribute is None:
+                return len(rows)
+            return sum(1 for row in rows if not is_null(row[self.attribute]))
+        values = [row[self.attribute] for row in rows if not is_null(row[self.attribute])]
+        if self.function == "count_distinct":
+            return len(set(values))
+        if not values:
+            return NULL
+        if self.function == "sum":
+            return sum(values)
+        if self.function == "avg":
+            return sum(values) / len(values)
+        if self.function == "min":
+            return min(values, key=sort_key)
+        return max(values, key=sort_key)
+
+    def __repr__(self) -> str:
+        return f"Aggregate({self.function}({self.attribute or '*'}) AS {self.output_name})"
+
+
+def group_by(relation: Relation, group_attributes: Sequence[str],
+             aggregates: Sequence[Aggregate], name: str = "grouped") -> Relation:
+    """SQL-style GROUP BY with the given aggregates.
+
+    With an empty *group_attributes* list a single row of global
+    aggregates is produced (even for an empty input, matching SQL).
+    """
+    group_attributes = [relation.schema.canonical_name(a) for a in group_attributes]
+    attrs: list[Attribute] = [relation.schema.attribute(a) for a in group_attributes]
+    for aggregate in aggregates:
+        out_type = AttributeType.FLOAT
+        if aggregate.function in ("count", "count_distinct"):
+            out_type = AttributeType.INTEGER
+        elif aggregate.function in ("min", "max") and aggregate.attribute is not None:
+            out_type = relation.schema.attribute(aggregate.attribute).type
+        elif aggregate.function == "sum" and aggregate.attribute is not None:
+            out_type = relation.schema.attribute(aggregate.attribute).type
+            if out_type is AttributeType.STRING:
+                out_type = AttributeType.FLOAT
+        attrs.append(Attribute(aggregate.output_name, out_type))
+    result = Relation(RelationSchema(name, attrs))
+
+    groups: dict[tuple[Any, ...], list[Tuple]] = defaultdict(list)
+    positions = relation.schema.positions(group_attributes)
+    for row in relation:
+        key = tuple(row.at(p) for p in positions)
+        groups[key].append(row)
+
+    if not group_attributes and not groups:
+        groups[()] = []
+
+    for key, rows in groups.items():
+        out_row = list(key) + [aggregate.compute(rows) for aggregate in aggregates]
+        result.insert(out_row)
+    return result
+
+
+def aggregate_value(relation: Relation, aggregate: Aggregate) -> Any:
+    """Convenience: compute a single global aggregate and return its value."""
+    grouped = group_by(relation, [], [aggregate], name="agg")
+    rows = grouped.tuples()
+    return rows[0][aggregate.output_name] if rows else NULL

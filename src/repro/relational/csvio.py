@@ -1,0 +1,100 @@
+"""CSV import and export for relations.
+
+The papers' experiments load dirty relations from flat files; this module
+provides the equivalent: read a CSV into a :class:`Relation` (with either
+a declared schema or type inference) and write a relation back out.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.types import NULL, AttributeType, infer_type, is_null
+
+
+def read_csv(path: str | Path, relation_name: str | None = None,
+             schema: RelationSchema | None = None, delimiter: str = ",") -> Relation:
+    """Read *path* into a relation.
+
+    When *schema* is omitted the header row provides attribute names and
+    the narrowest type fitting each column is inferred from the data.
+    Empty fields become NULL.
+    """
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        return _read_csv_stream(handle, relation_name or path.stem, schema, delimiter)
+
+
+def relation_from_csv(text: str, relation_name: str = "relation",
+                      schema: RelationSchema | None = None, delimiter: str = ",") -> Relation:
+    """Like :func:`read_csv` but reading from a string (used in tests/examples)."""
+    return _read_csv_stream(io.StringIO(text), relation_name, schema, delimiter)
+
+
+def _read_csv_stream(handle, relation_name: str, schema: RelationSchema | None,
+                     delimiter: str) -> Relation:
+    reader = csv.reader(handle, delimiter=delimiter)
+    rows = [row for row in reader if row]
+    if not rows:
+        raise SchemaError("cannot read a relation from an empty CSV stream")
+    header, data = rows[0], rows[1:]
+    header = [name.strip() for name in header]
+
+    if schema is None:
+        columns = list(zip(*data)) if data else [[] for _ in header]
+        attributes = [
+            Attribute(name, infer_type(list(column)))
+            for name, column in zip(header, columns)
+        ]
+        schema = RelationSchema(relation_name, attributes)
+    else:
+        if len(header) != schema.arity:
+            raise SchemaError(
+                f"CSV has {len(header)} columns but schema {schema.name!r} expects {schema.arity}"
+            )
+
+    relation = Relation(schema)
+    for row in data:
+        if len(row) != schema.arity:
+            raise SchemaError(
+                f"CSV row {row!r} has {len(row)} fields, expected {schema.arity}"
+            )
+        relation.insert([NULL if field == "" else field for field in row])
+    return relation
+
+
+def relation_to_csv(relation: Relation, path: str | Path | None = None,
+                    delimiter: str = ",") -> str:
+    """Write *relation* as CSV; returns the CSV text (and writes to *path* if given)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, delimiter=delimiter, lineterminator="\n")
+    writer.writerow(relation.schema.attribute_names)
+    for row in relation:
+        writer.writerow(["" if is_null(value) else _render(value) for value in row.values])
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def _render(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def write_rows_csv(path: str | Path, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Write arbitrary rows (e.g. benchmark results) to a CSV file."""
+    with Path(path).open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, lineterminator="\n")
+        writer.writerow(list(header))
+        for row in rows:
+            writer.writerow(list(row))

@@ -1,0 +1,99 @@
+"""A database is a named catalog of relations.
+
+The :class:`Database` keeps relations by (case-insensitive) name and is
+what the SQL engine, the Semandaq session and the CIND machinery operate
+on: CINDs relate two relations, so a single-relation API is not enough.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence, Any
+
+from repro.errors import CatalogError
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+
+class Database:
+    """A catalog of named relations."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._relations: dict[str, Relation] = {}
+
+    # -- catalog management ----------------------------------------------
+
+    def add(self, relation: Relation, replace: bool = False) -> Relation:
+        """Register *relation* under its schema name.
+
+        Raises :class:`~repro.errors.CatalogError` if a relation of the
+        same name exists and *replace* is false.
+        """
+        key = relation.name.lower()
+        if key in self._relations and not replace:
+            raise CatalogError(f"database {self.name!r} already has a relation {relation.name!r}")
+        self._relations[key] = relation
+        return relation
+
+    def create(self, schema: RelationSchema, replace: bool = False) -> Relation:
+        """Create and register an empty relation with *schema*."""
+        return self.add(Relation(schema), replace=replace)
+
+    def create_from_dicts(self, schema: RelationSchema, rows: Sequence[Mapping[str, Any]],
+                          replace: bool = False) -> Relation:
+        """Create, populate from dict rows, and register a relation."""
+        return self.add(Relation.from_dicts(schema, rows), replace=replace)
+
+    def drop(self, relation_name: str) -> None:
+        """Remove a relation from the catalog."""
+        key = relation_name.lower()
+        if key not in self._relations:
+            raise CatalogError(f"database {self.name!r} has no relation {relation_name!r}")
+        del self._relations[key]
+
+    def relation(self, relation_name: str) -> Relation:
+        """Look up a relation by (case-insensitive) name."""
+        key = relation_name.lower()
+        if key not in self._relations:
+            known = ", ".join(sorted(r.name for r in self._relations.values())) or "<empty>"
+            raise CatalogError(
+                f"database {self.name!r} has no relation {relation_name!r}; known: {known}"
+            )
+        return self._relations[key]
+
+    def has_relation(self, relation_name: str) -> bool:
+        """Whether the catalog contains *relation_name*."""
+        return relation_name.lower() in self._relations
+
+    def relation_names(self) -> list[str]:
+        """Names of all registered relations."""
+        return [relation.name for relation in self._relations.values()]
+
+    def __contains__(self, relation_name: str) -> bool:
+        return self.has_relation(relation_name)
+
+    def __getitem__(self, relation_name: str) -> Relation:
+        return self.relation(relation_name)
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    # -- convenience -----------------------------------------------------
+
+    def copy(self, name: str | None = None) -> "Database":
+        """Deep copy of the whole database (used by repair and CQA)."""
+        clone = Database(name or self.name)
+        for relation in self._relations.values():
+            clone.add(relation.copy())
+        return clone
+
+    def total_tuples(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(relation) for relation in self._relations.values())
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{r.name}({len(r)})" for r in self._relations.values())
+        return f"Database({self.name}: {parts})"

@@ -1,0 +1,103 @@
+"""Hash indexes over one or more attributes of a relation.
+
+Indexes map a key (the tuple of values of the indexed attributes) to the
+set of tuple ids having that key.  They are the workhorse of direct CFD
+violation detection (group tuples by the LHS attributes), of hash joins in
+the algebra/SQL layers, and of incremental detection.
+
+An index is a snapshot: it remembers the relation ``version`` it was built
+against and can report staleness; callers decide whether to rebuild or to
+maintain it incrementally via :meth:`HashIndex.add_tuple` /
+:meth:`HashIndex.remove_tuple`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterator, Sequence
+
+from repro.relational.relation import Relation, Tuple
+
+
+class HashIndex:
+    """Hash index of a relation on a list of attributes."""
+
+    def __init__(self, relation: Relation, attribute_names: Sequence[str]) -> None:
+        self._relation = relation
+        self._attribute_names = [relation.schema.canonical_name(a) for a in attribute_names]
+        self._positions = relation.schema.positions(attribute_names)
+        self._buckets: dict[tuple[Any, ...], set[int]] = defaultdict(set)
+        self._built_version = -1
+        self.rebuild()
+
+    # -- construction / maintenance ---------------------------------------
+
+    def rebuild(self) -> None:
+        """Re-scan the relation and rebuild all buckets."""
+        self._buckets.clear()
+        for row in self._relation:
+            key = tuple(row.at(p) for p in self._positions)
+            self._buckets[key].add(row.tid)
+        self._built_version = self._relation.version
+
+    def add_tuple(self, row: Tuple) -> None:
+        """Register a newly inserted tuple without a full rebuild."""
+        key = tuple(row.at(p) for p in self._positions)
+        self._buckets[key].add(row.tid)
+
+    def remove_tuple(self, row: Tuple) -> None:
+        """Remove a tuple from the index (by its pre-deletion values)."""
+        key = tuple(row.at(p) for p in self._positions)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return
+        bucket.discard(row.tid)
+        if not bucket:
+            del self._buckets[key]
+
+    def is_stale(self) -> bool:
+        """Whether the underlying relation changed since the index was built."""
+        return self._built_version != self._relation.version
+
+    # -- lookups -----------------------------------------------------------
+
+    @property
+    def attribute_names(self) -> list[str]:
+        return list(self._attribute_names)
+
+    def key_of(self, row: Tuple) -> tuple[Any, ...]:
+        """The index key of *row*."""
+        return tuple(row.at(p) for p in self._positions)
+
+    def lookup(self, key: Sequence[Any]) -> set[int]:
+        """Tuple ids whose indexed attributes equal *key* (empty set if none)."""
+        return set(self._buckets.get(tuple(key), ()))
+
+    def groups(self) -> Iterator[tuple[tuple[Any, ...], set[int]]]:
+        """Iterate over ``(key, tids)`` buckets."""
+        for key, tids in self._buckets.items():
+            yield key, set(tids)
+
+    def keys(self) -> list[tuple[Any, ...]]:
+        """All distinct keys present in the relation."""
+        return list(self._buckets.keys())
+
+    def group_count(self) -> int:
+        """Number of distinct keys."""
+        return len(self._buckets)
+
+    def largest_group(self) -> tuple[tuple[Any, ...] | None, int]:
+        """The key with the most tuples and its cardinality."""
+        if not self._buckets:
+            return None, 0
+        key = max(self._buckets, key=lambda k: len(self._buckets[k]))
+        return key, len(self._buckets[key])
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def __repr__(self) -> str:
+        return (
+            f"HashIndex({self._relation.name}[{', '.join(self._attribute_names)}], "
+            f"{len(self._buckets)} keys)"
+        )

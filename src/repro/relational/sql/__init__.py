@@ -1,0 +1,19 @@
+"""A small SQL dialect: enough to run the CFD/CIND detection queries.
+
+The supported statement is ``SELECT`` with
+
+* a select list of expressions, aggregates, ``*`` and ``AS`` aliases,
+* ``FROM`` with multiple comma-separated relations or explicit ``JOIN ... ON``,
+* ``WHERE`` with three-valued boolean logic, ``IN``, ``LIKE``, ``IS NULL``,
+* ``GROUP BY`` / ``HAVING``,
+* ``ORDER BY ... [ASC|DESC]`` and ``LIMIT``,
+* ``UNION`` between two selects.
+
+The entry point is :class:`repro.relational.sql.engine.SQLEngine`.
+"""
+
+from repro.relational.sql.engine import SQLEngine
+from repro.relational.sql.parser import parse_sql
+from repro.relational.sql.tokenizer import tokenize
+
+__all__ = ["SQLEngine", "parse_sql", "tokenize"]

@@ -1,0 +1,122 @@
+"""AST node classes for the SQL subset.
+
+Scalar expressions reuse :mod:`repro.relational.expressions`; this module
+adds the statement-level structure: select items, table references, joins
+and the SELECT statement itself (possibly a UNION of two selects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.expressions import Expression
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """An aggregate in the select list or HAVING clause."""
+
+    function: str                 # count | sum | avg | min | max
+    argument: Expression | None   # None for COUNT(*)
+    distinct: bool = False
+
+    def default_name(self) -> str:
+        if self.argument is None:
+            return "count"
+        arg = str(self.argument).replace(".", "_")
+        prefix = f"{self.function}_distinct" if self.distinct else self.function
+        return f"{prefix}_{arg}"
+
+    def __str__(self) -> str:
+        inner = "*" if self.argument is None else str(self.argument)
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.function.upper()}({inner})"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One entry of the select list."""
+
+    expression: Expression | AggregateCall | None  # None means '*'
+    alias: str | None = None
+    star_qualifier: str | None = None  # for 'alias.*'
+
+    @property
+    def is_star(self) -> bool:
+        return self.expression is None
+
+    def output_name(self, default_index: int) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expression, AggregateCall):
+            return self.expression.default_name()
+        if self.expression is not None:
+            text = str(self.expression)
+            if text.isidentifier():
+                return text
+            # qualified column reference t.a -> a
+            if "." in text and all(part.isidentifier() for part in text.split(".")):
+                return text.split(".")[-1]
+            return f"col_{default_index}"
+        return f"col_{default_index}"
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A relation in the FROM clause, with an optional alias."""
+
+    relation_name: str
+    alias: str | None = None
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or self.relation_name
+
+
+@dataclass(frozen=True)
+class Join:
+    """An explicit ``JOIN ... ON`` clause."""
+
+    table: TableRef
+    condition: Expression
+    kind: str = "inner"  # only inner joins are supported
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY entry."""
+
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass
+class SelectStatement:
+    """A single SELECT block."""
+
+    items: list[SelectItem]
+    tables: list[TableRef]
+    joins: list[Join] = field(default_factory=list)
+    where: Expression | None = None
+    group_by: list[Expression] = field(default_factory=list)
+    having: Expression | None = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+    distinct: bool = False
+
+    def has_aggregates(self) -> bool:
+        if any(isinstance(item.expression, AggregateCall) for item in self.items):
+            return True
+        return bool(self.group_by)
+
+
+@dataclass
+class UnionStatement:
+    """``SELECT ... UNION [ALL] SELECT ...`` (left-associative chain)."""
+
+    selects: list[SelectStatement]
+    all: bool = False
+
+
+Statement = SelectStatement | UnionStatement

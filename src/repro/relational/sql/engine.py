@@ -1,0 +1,44 @@
+"""The public SQL entry point: parse + execute against a database."""
+
+from __future__ import annotations
+
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.sql.executor import SQLExecutor
+from repro.relational.sql.parser import parse_sql
+
+
+class SQLEngine:
+    """Executes SQL text against a :class:`~repro.relational.database.Database`.
+
+    Example::
+
+        engine = SQLEngine(database)
+        result = engine.query("SELECT zip, COUNT(*) AS n FROM customer GROUP BY zip")
+    """
+
+    def __init__(self, database: Database) -> None:
+        self._database = database
+        self._executor = SQLExecutor(database)
+
+    @property
+    def database(self) -> Database:
+        return self._database
+
+    def query(self, sql: str, result_name: str = "result") -> Relation:
+        """Parse and execute *sql*, returning the result relation."""
+        statement = parse_sql(sql)
+        return self._executor.execute(statement, result_name=result_name)
+
+    def scalar(self, sql: str):
+        """Execute *sql* and return the single value of a 1x1 result."""
+        result = self.query(sql)
+        rows = result.tuples()
+        if not rows or result.schema.arity == 0:
+            return None
+        return rows[0].at(0)
+
+    def explain(self, sql: str) -> str:
+        """Return a textual description of the parsed statement (for debugging)."""
+        statement = parse_sql(sql)
+        return repr(statement)

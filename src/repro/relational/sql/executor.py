@@ -1,0 +1,514 @@
+"""Executor for the SQL subset.
+
+Execution strategy:
+
+1. The FROM clause (tables, explicit joins and the WHERE conjuncts) is
+   turned into a left-deep sequence of hash equi-joins where possible and
+   nested-loop filters otherwise (:class:`_FromPlanner`).
+2. Remaining WHERE conjuncts filter the joined rows.
+3. GROUP BY / aggregates / HAVING are evaluated per group.
+4. The select list is projected, then DISTINCT / ORDER BY / LIMIT apply.
+
+The result of execution is an ordinary
+:class:`~repro.relational.relation.Relation`, so query results compose
+with the rest of the engine.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterable
+
+from repro.errors import SQLExecutionError
+from repro.relational.database import Database
+from repro.relational.expressions import (
+    And,
+    ColumnRef,
+    Comparison,
+    EvaluationContext,
+    Expression,
+    truth,
+)
+from repro.relational.relation import Relation, Tuple
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.sql.ast import (
+    AggregateCall,
+    SelectItem,
+    SelectStatement,
+    Statement,
+    TableRef,
+    UnionStatement,
+)
+from repro.relational.sql.parser import AggregateExpr
+from repro.relational.types import NULL, AttributeType, is_null, sort_key
+
+
+class _ExecRow:
+    """One intermediate row: bindings for evaluation plus source tuples."""
+
+    __slots__ = ("bindings", "sources")
+
+    def __init__(self, bindings: dict[str, Any], sources: list[tuple[str, Tuple]]) -> None:
+        self.bindings = bindings
+        self.sources = sources
+
+    def context(self) -> EvaluationContext:
+        return EvaluationContext(self.bindings)
+
+    def merged(self, other: "_ExecRow") -> "_ExecRow":
+        bindings = dict(self.bindings)
+        for key, value in other.bindings.items():
+            # do not let a later table silently shadow an earlier unqualified name
+            if "." in key or key not in bindings:
+                bindings[key] = value
+        return _ExecRow(bindings, self.sources + other.sources)
+
+
+def _rows_for_table(database: Database, table: TableRef) -> list[_ExecRow]:
+    relation = database.relation(table.relation_name)
+    binding = table.binding_name.lower()
+    rows = []
+    for row in relation:
+        bindings: dict[str, Any] = {}
+        for name in relation.schema.attribute_names:
+            value = row[name]
+            bindings[name.lower()] = value
+            bindings[f"{binding}.{name.lower()}"] = value
+        rows.append(_ExecRow(bindings, [(table.binding_name, row)]))
+    return rows
+
+
+def _flatten_conjuncts(expression: Expression | None) -> list[Expression]:
+    if expression is None:
+        return []
+    if isinstance(expression, And):
+        result: list[Expression] = []
+        for operand in expression.operands:
+            result.extend(_flatten_conjuncts(operand))
+        return result
+    return [expression]
+
+
+def _column_binding(ref: ColumnRef) -> str:
+    return f"{ref.qualifier.lower()}.{ref.name.lower()}" if ref.qualifier else ref.name.lower()
+
+
+class _FromPlanner:
+    """Builds the joined row stream for a SELECT statement."""
+
+    def __init__(self, database: Database, statement: SelectStatement) -> None:
+        self._database = database
+        self._statement = statement
+
+    def execute(self) -> tuple[list[_ExecRow], list[Expression]]:
+        """Return (joined rows, conjuncts not yet applied)."""
+        tables = list(self._statement.tables)
+        conjuncts = _flatten_conjuncts(self._statement.where)
+        for join in self._statement.joins:
+            tables.append(join.table)
+            conjuncts.extend(_flatten_conjuncts(join.condition))
+
+        if not tables:
+            raise SQLExecutionError("SELECT requires at least one relation in FROM")
+
+        bound_aliases = {tables[0].binding_name.lower()}
+        current = _rows_for_table(self._database, tables[0])
+        remaining = list(conjuncts)
+
+        for table in tables[1:]:
+            alias = table.binding_name.lower()
+            table_rows = _rows_for_table(self._database, table)
+            equi, remaining = self._split_equi_conjuncts(remaining, bound_aliases, alias)
+            if equi:
+                current = self._hash_join(current, table_rows, equi)
+            else:
+                current = [left.merged(right) for left in current for right in table_rows]
+            bound_aliases.add(alias)
+        return current, remaining
+
+    def _split_equi_conjuncts(self, conjuncts: list[Expression], bound: set[str],
+                              new_alias: str) -> tuple[list[tuple[str, str]], list[Expression]]:
+        """Extract ``bound_col = new_col`` equalities usable for a hash join."""
+        usable: list[tuple[str, str]] = []
+        rest: list[Expression] = []
+        for conjunct in conjuncts:
+            pair = self._as_equi_pair(conjunct, bound, new_alias)
+            if pair is not None:
+                usable.append(pair)
+            else:
+                rest.append(conjunct)
+        return usable, rest
+
+    def _as_equi_pair(self, conjunct: Expression, bound: set[str],
+                      new_alias: str) -> tuple[str, str] | None:
+        if not isinstance(conjunct, Comparison) or conjunct.operator != "=":
+            return None
+        left, right = conjunct.left, conjunct.right
+        if not isinstance(left, ColumnRef) or not isinstance(right, ColumnRef):
+            return None
+        if left.qualifier is None or right.qualifier is None:
+            return None
+        left_alias = left.qualifier.lower()
+        right_alias = right.qualifier.lower()
+        if left_alias in bound and right_alias == new_alias:
+            return _column_binding(left), _column_binding(right)
+        if right_alias in bound and left_alias == new_alias:
+            return _column_binding(right), _column_binding(left)
+        return None
+
+    @staticmethod
+    def _hash_join(left_rows: list[_ExecRow], right_rows: list[_ExecRow],
+                   equi: list[tuple[str, str]]) -> list[_ExecRow]:
+        left_keys = [pair[0] for pair in equi]
+        right_keys = [pair[1] for pair in equi]
+        buckets: dict[tuple[Any, ...], list[_ExecRow]] = defaultdict(list)
+        for row in right_rows:
+            key = tuple(row.bindings.get(k, NULL) for k in right_keys)
+            if any(is_null(v) for v in key):
+                continue
+            buckets[key].append(row)
+        joined: list[_ExecRow] = []
+        for row in left_rows:
+            key = tuple(row.bindings.get(k, NULL) for k in left_keys)
+            if any(is_null(v) for v in key):
+                continue
+            for right in buckets.get(key, ()):
+                joined.append(row.merged(right))
+        return joined
+
+
+def _infer_output_type(values: Iterable[Any]) -> AttributeType:
+    for value in values:
+        if is_null(value):
+            continue
+        if isinstance(value, bool):
+            return AttributeType.BOOLEAN
+        if isinstance(value, int):
+            return AttributeType.INTEGER
+        if isinstance(value, float):
+            return AttributeType.FLOAT
+        return AttributeType.STRING
+    return AttributeType.STRING
+
+
+class SQLExecutor:
+    """Executes parsed statements against a :class:`Database`."""
+
+    def __init__(self, database: Database) -> None:
+        self._database = database
+
+    # -- public ------------------------------------------------------------
+
+    def execute(self, statement: Statement, result_name: str = "result") -> Relation:
+        if isinstance(statement, UnionStatement):
+            return self._execute_union(statement, result_name)
+        return self._execute_select(statement, result_name)
+
+    # -- UNION ---------------------------------------------------------------
+
+    def _execute_union(self, statement: UnionStatement, result_name: str) -> Relation:
+        parts = [self._execute_select(select, result_name) for select in statement.selects]
+        first = parts[0]
+        schema = first.schema.renamed_relation(result_name)
+        result = Relation(schema)
+        seen: set[tuple[Any, ...]] = set()
+        for part in parts:
+            if part.schema.arity != schema.arity:
+                raise SQLExecutionError("UNION requires selects of equal arity")
+            for row in part:
+                key = row.values
+                if statement.all or key not in seen:
+                    seen.add(key)
+                    result.insert(list(key))
+        return result
+
+    # -- SELECT ----------------------------------------------------------------
+
+    def _execute_select(self, statement: SelectStatement, result_name: str) -> Relation:
+        rows, residual = _FromPlanner(self._database, statement).execute()
+
+        for conjunct in residual:
+            rows = [row for row in rows if truth(conjunct.evaluate(row.context()))]
+
+        if statement.has_aggregates():
+            output_rows, names = self._grouped_output(statement, rows)
+        else:
+            output_rows, names = self._plain_output(statement, rows)
+
+        if statement.distinct:
+            deduped = []
+            seen: set[tuple[Any, ...]] = set()
+            for row in output_rows:
+                key = tuple(row)
+                if key not in seen:
+                    seen.add(key)
+                    deduped.append(row)
+            output_rows = deduped
+
+        if statement.order_by:
+            output_rows = self._order(statement, output_rows, names)
+
+        if statement.limit is not None:
+            output_rows = output_rows[: statement.limit]
+
+        columns = list(zip(*output_rows)) if output_rows else [[] for _ in names]
+        attributes = [
+            Attribute(name, _infer_output_type(column))
+            for name, column in zip(names, columns)
+        ]
+        unique_attributes = _deduplicate_names(attributes)
+        schema = RelationSchema(result_name, unique_attributes)
+        result = Relation(schema)
+        for row in output_rows:
+            result.insert(list(row))
+        return result
+
+    # -- projection without aggregation ----------------------------------------
+
+    def _expanded_items(self, statement: SelectStatement,
+                        rows: list[_ExecRow]) -> list[tuple[str, Expression | AggregateCall]]:
+        """Expand '*' and 'alias.*' into concrete column references."""
+        expanded: list[tuple[str, Expression | AggregateCall]] = []
+        for index, item in enumerate(statement.items):
+            if item.is_star:
+                expanded.extend(self._star_columns(statement, item.star_qualifier))
+            else:
+                expanded.append((item.output_name(index), item.expression))
+        return expanded
+
+    def _star_columns(self, statement: SelectStatement,
+                      qualifier: str | None) -> list[tuple[str, Expression]]:
+        columns: list[tuple[str, Expression]] = []
+        seen: set[str] = set()
+        tables = list(statement.tables) + [join.table for join in statement.joins]
+        for table in tables:
+            if qualifier is not None and table.binding_name.lower() != qualifier.lower():
+                continue
+            relation = self._database.relation(table.relation_name)
+            for name in relation.schema.attribute_names:
+                output = name if name.lower() not in seen else f"{table.binding_name}_{name}"
+                seen.add(name.lower())
+                columns.append((output, ColumnRef(name, qualifier=table.binding_name)))
+        if not columns:
+            raise SQLExecutionError(f"'*' expansion found no columns (qualifier {qualifier!r})")
+        return columns
+
+    def _plain_output(self, statement: SelectStatement,
+                      rows: list[_ExecRow]) -> tuple[list[list[Any]], list[str]]:
+        items = self._expanded_items(statement, rows)
+        names = [name for name, _ in items]
+        output: list[list[Any]] = []
+        for row in rows:
+            context = row.context()
+            values = []
+            for _, expression in items:
+                if isinstance(expression, AggregateCall):
+                    raise SQLExecutionError("aggregate without GROUP BY mixed with plain columns")
+                values.append(expression.evaluate(context))
+            output.append(values)
+        return output, names
+
+    # -- grouped output -----------------------------------------------------------
+
+    def _grouped_output(self, statement: SelectStatement,
+                        rows: list[_ExecRow]) -> tuple[list[list[Any]], list[str]]:
+        group_exprs = statement.group_by
+        groups: dict[tuple[Any, ...], list[_ExecRow]] = defaultdict(list)
+        if group_exprs:
+            for row in rows:
+                context = row.context()
+                key = tuple(expr.evaluate(context) for expr in group_exprs)
+                groups[key].append(row)
+        else:
+            groups[()] = list(rows)
+
+        items = self._expanded_items(statement, rows)
+        names = [name for name, _ in items]
+
+        having_aggregates = self._collect_aggregates(statement.having)
+        item_aggregates = [expr for _, expr in items if isinstance(expr, AggregateCall)]
+        all_aggregates = list({**{a: None for a in item_aggregates},
+                               **{a: None for a in having_aggregates}}.keys())
+
+        output: list[list[Any]] = []
+        for key, group_rows in groups.items():
+            if not group_rows and group_exprs:
+                continue
+            aggregate_values = {
+                aggregate: self._compute_aggregate(aggregate, group_rows)
+                for aggregate in all_aggregates
+            }
+            representative = group_rows[0] if group_rows else None
+
+            if statement.having is not None:
+                having_value = self._evaluate_with_aggregates(
+                    statement.having, representative, aggregate_values)
+                if not truth(having_value):
+                    continue
+
+            values = []
+            for _, expression in items:
+                if isinstance(expression, AggregateCall):
+                    values.append(aggregate_values[expression])
+                else:
+                    values.append(self._evaluate_with_aggregates(
+                        expression, representative, aggregate_values))
+            output.append(values)
+        return output, names
+
+    def _collect_aggregates(self, expression: Expression | None) -> list[AggregateCall]:
+        if expression is None:
+            return []
+        found: list[AggregateCall] = []
+
+        def walk(node: Expression) -> None:
+            if isinstance(node, AggregateExpr):
+                found.append(node.call)
+                return
+            for attribute in ("operands", "operand", "left", "right", "arguments", "values"):
+                child = getattr(node, attribute, None)
+                if isinstance(child, Expression):
+                    walk(child)
+                elif isinstance(child, tuple):
+                    for element in child:
+                        if isinstance(element, Expression):
+                            walk(element)
+
+        walk(expression)
+        return found
+
+    def _compute_aggregate(self, aggregate: AggregateCall, rows: list[_ExecRow]) -> Any:
+        if aggregate.argument is None:
+            return len(rows)
+        values = []
+        for row in rows:
+            value = aggregate.argument.evaluate(row.context())
+            if not is_null(value):
+                values.append(value)
+        if aggregate.distinct:
+            unique: list[Any] = []
+            seen: set[Any] = set()
+            for value in values:
+                if value not in seen:
+                    seen.add(value)
+                    unique.append(value)
+            values = unique
+        function = aggregate.function
+        if function == "count":
+            return len(values)
+        if not values:
+            return NULL
+        if function == "sum":
+            return sum(values)
+        if function == "avg":
+            return sum(values) / len(values)
+        if function == "min":
+            return min(values, key=sort_key)
+        if function == "max":
+            return max(values, key=sort_key)
+        raise SQLExecutionError(f"unsupported aggregate {function!r}")
+
+    def _evaluate_with_aggregates(self, expression: Expression, representative: _ExecRow | None,
+                                  aggregate_values: dict[AggregateCall, Any]) -> Any:
+        rewritten = self._rewrite_aggregates(expression, aggregate_values)
+        context = representative.context() if representative is not None else EvaluationContext({})
+        return rewritten.evaluate(context)
+
+    def _rewrite_aggregates(self, expression: Expression,
+                            aggregate_values: dict[AggregateCall, Any]) -> Expression:
+        from repro.relational.expressions import Literal
+
+        if isinstance(expression, AggregateExpr):
+            return Literal(aggregate_values[expression.call])
+
+        if isinstance(expression, (And,)):
+            return And(tuple(self._rewrite_aggregates(op, aggregate_values)
+                             for op in expression.operands))
+        from repro.relational.expressions import (
+            Arithmetic, Comparison as Cmp, FunctionCall, InList, IsNull, Like, Not, Or,
+        )
+        if isinstance(expression, Or):
+            return Or(tuple(self._rewrite_aggregates(op, aggregate_values)
+                            for op in expression.operands))
+        if isinstance(expression, Not):
+            return Not(self._rewrite_aggregates(expression.operand, aggregate_values))
+        if isinstance(expression, Cmp):
+            return Cmp(expression.operator,
+                       self._rewrite_aggregates(expression.left, aggregate_values),
+                       self._rewrite_aggregates(expression.right, aggregate_values))
+        if isinstance(expression, Arithmetic):
+            return Arithmetic(expression.operator,
+                              self._rewrite_aggregates(expression.left, aggregate_values),
+                              self._rewrite_aggregates(expression.right, aggregate_values))
+        if isinstance(expression, IsNull):
+            return IsNull(self._rewrite_aggregates(expression.operand, aggregate_values),
+                          negated=expression.negated)
+        if isinstance(expression, Like):
+            return Like(self._rewrite_aggregates(expression.operand, aggregate_values),
+                        expression.pattern, negated=expression.negated)
+        if isinstance(expression, InList):
+            return InList(self._rewrite_aggregates(expression.operand, aggregate_values),
+                          tuple(self._rewrite_aggregates(v, aggregate_values)
+                                for v in expression.values),
+                          negated=expression.negated)
+        if isinstance(expression, FunctionCall):
+            return FunctionCall(expression.name,
+                                tuple(self._rewrite_aggregates(a, aggregate_values)
+                                      for a in expression.arguments))
+        return expression
+
+    # -- ordering -------------------------------------------------------------
+
+    def _order(self, statement: SelectStatement, output_rows: list[list[Any]],
+               names: list[str]) -> list[list[Any]]:
+        name_positions = {name.lower(): index for index, name in enumerate(names)}
+
+        def key_function(row: list[Any]) -> tuple:
+            keys = []
+            for order_item in statement.order_by:
+                value = self._order_value(order_item.expression, row, name_positions)
+                keys.append(sort_key(value))
+            return tuple(keys)
+
+        ordered = sorted(output_rows, key=key_function)
+        if any(item.descending for item in statement.order_by):
+            if all(item.descending for item in statement.order_by):
+                ordered = list(reversed(ordered))
+            else:
+                # mixed directions: sort stably, last key first
+                ordered = output_rows
+                for order_item in reversed(statement.order_by):
+                    ordered = sorted(
+                        ordered,
+                        key=lambda row: sort_key(
+                            self._order_value(order_item.expression, row, name_positions)),
+                        reverse=order_item.descending,
+                    )
+        return ordered
+
+    def _order_value(self, expression: Expression, row: list[Any],
+                     name_positions: dict[str, int]) -> Any:
+        if isinstance(expression, ColumnRef) and expression.qualifier is None:
+            position = name_positions.get(expression.name.lower())
+            if position is not None:
+                return row[position]
+        context = EvaluationContext({name: row[pos] for name, pos in name_positions.items()})
+        try:
+            return expression.evaluate(context)
+        except Exception as exc:  # noqa: BLE001 - surface as SQL error
+            raise SQLExecutionError(f"cannot evaluate ORDER BY expression {expression}") from exc
+
+
+def _deduplicate_names(attributes: list[Attribute]) -> list[Attribute]:
+    """Ensure output attribute names are unique (suffix _2, _3, ...)."""
+    seen: dict[str, int] = {}
+    result: list[Attribute] = []
+    for attribute in attributes:
+        key = attribute.name.lower()
+        if key not in seen:
+            seen[key] = 1
+            result.append(attribute)
+        else:
+            seen[key] += 1
+            result.append(Attribute(f"{attribute.name}_{seen[key]}", attribute.type))
+    return result

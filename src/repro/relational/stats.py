@@ -1,0 +1,65 @@
+"""Simple per-relation statistics used by reports and the discovery module."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.relational.relation import Relation
+from repro.relational.types import is_null
+
+
+@dataclass
+class ColumnStats:
+    """Summary statistics of one attribute."""
+
+    attribute: str
+    total: int
+    nulls: int
+    distinct: int
+    most_common: Any = None
+    most_common_count: int = 0
+
+    @property
+    def null_fraction(self) -> float:
+        return self.nulls / self.total if self.total else 0.0
+
+    @property
+    def distinct_fraction(self) -> float:
+        return self.distinct / self.total if self.total else 0.0
+
+
+@dataclass
+class RelationStats:
+    """Summary statistics of a whole relation."""
+
+    relation_name: str
+    tuple_count: int
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, attribute: str) -> ColumnStats:
+        return self.columns[attribute.lower()]
+
+
+def collect_stats(relation: Relation) -> RelationStats:
+    """Compute :class:`RelationStats` for *relation* in one pass per column."""
+    stats = RelationStats(relation.name, len(relation))
+    for attribute in relation.schema.attribute_names:
+        values = relation.column(attribute)
+        non_null = [v for v in values if not is_null(v)]
+        counts: dict[Any, int] = {}
+        for value in non_null:
+            counts[value] = counts.get(value, 0) + 1
+        most_common, most_common_count = None, 0
+        if counts:
+            most_common = max(counts, key=counts.get)
+            most_common_count = counts[most_common]
+        stats.columns[attribute.lower()] = ColumnStats(
+            attribute=attribute,
+            total=len(values),
+            nulls=len(values) - len(non_null),
+            distinct=len(counts),
+            most_common=most_common,
+            most_common_count=most_common_count,
+        )
+    return stats

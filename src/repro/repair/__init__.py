@@ -1,0 +1,34 @@
+"""Constraint-based data repairing, following Cong et al. (VLDB 2007).
+
+Given a dirty relation and a set of CFDs, *repairing* produces another
+relation that satisfies the CFDs and minimally differs from the original
+(§5 of the tutorial, the Semandaq repair engine).  The package provides:
+
+* a cell-level cost model (:mod:`repro.repair.cost`),
+* equivalence classes of cells (:mod:`repro.repair.eqclass`) — the central
+  data structure of the algorithm: cells in one class must receive the
+  same value in the repair,
+* :class:`~repro.repair.batch_repair.BatchRepair` — repair a whole dirty
+  relation,
+* :class:`~repro.repair.inc_repair.IncRepair` — repair only a batch of
+  newly inserted tuples against an already-clean base, and
+* repair-quality metrics (precision / recall against a known clean
+  relation, :mod:`repro.repair.quality`).
+"""
+
+from repro.repair.cost import CostModel
+from repro.repair.eqclass import EquivalenceClasses
+from repro.repair.batch_repair import BatchRepair, Repair, CellChange
+from repro.repair.inc_repair import IncRepair
+from repro.repair.quality import RepairQuality, evaluate_repair
+
+__all__ = [
+    "CostModel",
+    "EquivalenceClasses",
+    "BatchRepair",
+    "IncRepair",
+    "Repair",
+    "CellChange",
+    "RepairQuality",
+    "evaluate_repair",
+]

@@ -1,0 +1,239 @@
+"""BatchRepair: repair a dirty relation against a set of CFDs.
+
+The algorithm follows Cong et al. (VLDB 2007):
+
+1. detect all CFD violations of the current relation;
+2. resolve each violation at minimum cost —
+   * a **constant** violation (a tuple disagreeing with a pattern's RHS
+     constant) is resolved by writing the constant into the offending
+     cell;
+   * a **variable** (group) violation is resolved by moving the RHS cells
+     of the group to a common target value, chosen by the cost model
+     (weighted majority), unless one of the cells was already pinned by a
+     constant resolution — then the pinned value wins;
+   * if a group contains cells pinned to *different* constants, no common
+     RHS value exists; the conflicting tuples are split off the group by
+     setting one of their LHS attributes to a fresh value outside the
+     active domain (the "cannot resolve by equalization" case of the
+     paper);
+3. repeat until no violation remains (or ``max_passes`` is reached —
+   oscillation between interacting CFDs is theoretically possible, and the
+   result records whether the fixpoint was reached).
+
+The repair never touches the input relation: it works on a copy and
+returns a :class:`Repair` carrying the repaired relation, the list of cell
+changes, their total cost and convergence information.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.constraints.cfd import CFD, merge_cfds
+from repro.constraints.violations import CFDViolation
+from repro.detection.batch import BatchCFDDetector
+from repro.errors import RepairError
+from repro.relational.relation import Relation
+from repro.repair.cost import CostModel
+
+
+@dataclass(frozen=True)
+class CellChange:
+    """One cell modified by the repair."""
+
+    tid: int
+    attribute: str
+    old_value: Any
+    new_value: Any
+
+
+@dataclass
+class Repair:
+    """The outcome of a repair run."""
+
+    relation: Relation
+    changes: list[CellChange] = field(default_factory=list)
+    cost: float = 0.0
+    passes: int = 0
+    converged: bool = True
+
+    @property
+    def changed_cells(self) -> set[tuple[int, str]]:
+        """The (tid, attribute) cells the repair modified."""
+        return {(change.tid, change.attribute) for change in self.changes}
+
+    def changes_for(self, tid: int) -> list[CellChange]:
+        """All changes applied to one tuple."""
+        return [change for change in self.changes if change.tid == tid]
+
+    def summary(self) -> str:
+        status = "converged" if self.converged else "did NOT converge"
+        return (f"repair of {self.relation.name!r}: {len(self.changes)} cells changed, "
+                f"cost {self.cost:.3f}, {self.passes} pass(es), {status}")
+
+
+class BatchRepair:
+    """Repairs a whole relation against a set of CFDs."""
+
+    #: resolution orderings available for the ablation benchmark (E5):
+    #: "largest_first" resolves the biggest violating groups first,
+    #: "arbitrary" keeps detection order.
+    ORDERINGS = ("largest_first", "arbitrary")
+
+    def __init__(self, relation: Relation, cfds: Sequence[CFD],
+                 cost_model: CostModel | None = None,
+                 ordering: str = "largest_first",
+                 max_passes: int = 25) -> None:
+        if ordering not in self.ORDERINGS:
+            raise RepairError(f"unknown ordering {ordering!r}; known: {self.ORDERINGS}")
+        for cfd in cfds:
+            cfd.validate_against(relation)
+        self._original = relation
+        self._cfds = merge_cfds(cfds)
+        self._cost_model = cost_model or CostModel()
+        self._ordering = ordering
+        self._max_passes = max_passes
+        self._fresh_counter = itertools.count()
+
+    # -- public ----------------------------------------------------------------
+
+    def repair(self) -> Repair:
+        """Run the repair and return the result (the input relation is untouched)."""
+        working = self._original.copy()
+        passes = 0
+        converged = False
+
+        for _ in range(self._max_passes):
+            passes += 1
+            report = BatchCFDDetector(working, self._cfds).detect()
+            if report.is_clean():
+                converged = True
+                break
+            pinned: dict[tuple[int, str], Any] = {}
+            violations = self._ordered(list(report.violations))
+            for violation in violations:
+                if violation.is_single_tuple:
+                    self._resolve_constant(working, violation, pinned)
+            for violation in violations:
+                if not violation.is_single_tuple:
+                    self._resolve_group(working, violation, pinned)
+        else:
+            # loop ended without break: check once more
+            converged = BatchCFDDetector(working, self._cfds).detect().is_clean()
+
+        if not converged:
+            report = BatchCFDDetector(working, self._cfds).detect()
+            if report.is_clean():
+                converged = True
+
+        changes = self._collect_changes(working)
+        cost = sum(
+            self._cost_model.change_cost(c.tid, c.attribute, c.old_value, c.new_value)
+            for c in changes
+        )
+        return Repair(relation=working, changes=changes, cost=cost,
+                      passes=passes, converged=converged)
+
+    # -- resolution steps ----------------------------------------------------------
+
+    def _ordered(self, violations: list[CFDViolation]) -> list[CFDViolation]:
+        if self._ordering == "largest_first":
+            return sorted(violations, key=lambda v: -len(v.tids))
+        return violations
+
+    def _resolve_constant(self, working: Relation, violation: CFDViolation,
+                          pinned: dict[tuple[int, str], Any]) -> None:
+        """Write the pattern's RHS constants into the offending tuple."""
+        cfd, pattern = violation.cfd, violation.pattern
+        tid = violation.tids[0]
+        if tid not in working:
+            return
+        row = working.tuple(tid)
+        if not pattern.matches(row, cfd.lhs):
+            return  # an earlier resolution already moved this tuple out of scope
+        for attribute in cfd.rhs:
+            if not pattern.is_constant_on(attribute):
+                continue
+            target = pattern.constant(attribute)
+            current = row[attribute]
+            if str(current) == str(target):
+                continue
+            existing_pin = pinned.get((tid, attribute))
+            if existing_pin is not None and str(existing_pin) != str(target):
+                # two constant CFDs demand different values for the same cell:
+                # the CFD set is inconsistent on this tuple; move it out of the
+                # second pattern's scope instead of flip-flopping.
+                self._break_lhs(working, cfd, tid)
+                return
+            working.update(tid, attribute, target)
+            pinned[(tid, attribute)] = target
+
+    def _resolve_group(self, working: Relation, violation: CFDViolation,
+                       pinned: dict[tuple[int, str], Any]) -> None:
+        """Equalize the variable RHS attributes of a violating group."""
+        cfd, pattern = violation.cfd, violation.pattern
+        tids = [tid for tid in violation.tids if tid in working]
+        if len(tids) < 2:
+            return
+        rows = {tid: working.tuple(tid) for tid in tids}
+        # the group may have drifted apart due to earlier resolutions
+        live = [tid for tid in tids
+                if pattern.matches(rows[tid], cfd.lhs)]
+        if len(live) < 2:
+            return
+        key_values = {tid: rows[tid].project(list(cfd.lhs)) for tid in live}
+        anchor = key_values[live[0]]
+        live = [tid for tid in live if key_values[tid] == anchor]
+        if len(live) < 2:
+            return
+
+        for attribute in cfd.rhs:
+            if pattern.is_constant_on(attribute):
+                continue
+            cells = [(tid, attribute, working.value(tid, attribute)) for tid in live]
+            current_values = {str(value) for _, _, value in cells}
+            if len(current_values) <= 1:
+                continue
+            pins = {str(pinned[(tid, attribute)])
+                    for tid in live if (tid, attribute) in pinned}
+            if len(pins) > 1:
+                # irreconcilable constants: split the group on the LHS
+                for tid in live[1:]:
+                    self._break_lhs(working, cfd, tid)
+                return
+            if pins:
+                target = next(iter(pins))
+            else:
+                target, _ = self._cost_model.cheapest_target(cells)
+            for tid, _, current in cells:
+                if str(current) != str(target):
+                    working.update(tid, attribute, target)
+
+    def _break_lhs(self, working: Relation, cfd: CFD, tid: int) -> None:
+        """Move a tuple out of a pattern's scope by refreshing one LHS attribute."""
+        attribute = cfd.lhs[-1]
+        fresh = f"__repair_fresh_{next(self._fresh_counter)}"
+        working.update(tid, attribute, fresh)
+
+    # -- bookkeeping -------------------------------------------------------------------
+
+    def _collect_changes(self, working: Relation) -> list[CellChange]:
+        changes: list[CellChange] = []
+        for tid in self._original.tids():
+            if tid not in working:
+                continue
+            original_row = self._original.tuple(tid)
+            repaired_row = working.tuple(tid)
+            for attribute in self._original.schema.attribute_names:
+                old_value, new_value = original_row[attribute], repaired_row[attribute]
+                if str(old_value) != str(new_value):
+                    changes.append(CellChange(tid, attribute.lower(), old_value, new_value))
+        return changes
+
+
+def repair_relation(relation: Relation, cfds: Sequence[CFD],
+                    cost_model: CostModel | None = None, **kwargs) -> Repair:
+    """Convenience wrapper around :class:`BatchRepair`."""
+    return BatchRepair(relation, cfds, cost_model=cost_model, **kwargs).repair()

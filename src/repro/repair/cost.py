@@ -1,0 +1,86 @@
+"""The repair cost model.
+
+Following Cong et al., the cost of changing the value of cell ``(t, A)``
+from ``v`` to ``v'`` is ``w(t, A) · dist(v, v')`` where ``w`` is a
+per-cell confidence weight (1.0 by default — the user trusts every cell
+equally) and ``dist`` is a normalized distance in ``[0, 1]`` (here:
+normalized edit distance).  The cost of a repair is the sum over all
+changed cells; BatchRepair picks target values that minimize this sum.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.matching.similarity import normalized_edit_distance
+from repro.relational.types import is_null
+
+
+class CostModel:
+    """Per-cell weights plus a value-distance function."""
+
+    def __init__(self, default_weight: float = 1.0,
+                 distance: Callable[[Any, Any], float] | None = None) -> None:
+        if default_weight < 0:
+            raise ValueError("default_weight must be non-negative")
+        self._default_weight = default_weight
+        self._weights: dict[tuple[int, str], float] = {}
+        self._distance = distance or normalized_edit_distance
+
+    # -- weights ------------------------------------------------------------
+
+    def set_weight(self, tid: int, attribute: str, weight: float) -> None:
+        """Set the confidence weight of one cell (higher = more trusted)."""
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        self._weights[(tid, attribute.lower())] = weight
+
+    def set_weights(self, weights: Mapping[tuple[int, str], float]) -> None:
+        """Bulk version of :meth:`set_weight`."""
+        for (tid, attribute), weight in weights.items():
+            self.set_weight(tid, attribute, weight)
+
+    def weight(self, tid: int, attribute: str) -> float:
+        """Confidence weight of cell ``(tid, attribute)``."""
+        return self._weights.get((tid, attribute.lower()), self._default_weight)
+
+    # -- costs ---------------------------------------------------------------
+
+    def distance(self, old_value: Any, new_value: Any) -> float:
+        """Distance in [0, 1] between two values (0 when equal)."""
+        if is_null(old_value) and is_null(new_value):
+            return 0.0
+        return self._distance(old_value, new_value)
+
+    def change_cost(self, tid: int, attribute: str, old_value: Any, new_value: Any) -> float:
+        """Cost of changing one cell."""
+        return self.weight(tid, attribute) * self.distance(old_value, new_value)
+
+    def target_cost(self, cells: Iterable[tuple[int, str, Any]], target: Any) -> float:
+        """Cost of moving every cell ``(tid, attribute, current)`` to *target*."""
+        return sum(self.change_cost(tid, attribute, current, target)
+                   for tid, attribute, current in cells)
+
+    def cheapest_target(self, cells: list[tuple[int, str, Any]],
+                        candidates: Iterable[Any] | None = None) -> tuple[Any, float]:
+        """The value minimizing :meth:`target_cost` over *candidates*.
+
+        When *candidates* is omitted the current values of the cells are
+        used (the optimal target of the weighted-majority resolution).
+        """
+        if not cells:
+            raise ValueError("cheapest_target needs at least one cell")
+        pool = list(candidates) if candidates is not None else []
+        if not pool:
+            seen = set()
+            for _, _, value in cells:
+                key = str(value) if not is_null(value) else None
+                if key not in seen:
+                    seen.add(key)
+                    pool.append(value)
+        best_value, best_cost = None, float("inf")
+        for candidate in pool:
+            cost = self.target_cost(cells, candidate)
+            if cost < best_cost:
+                best_value, best_cost = candidate, cost
+        return best_value, best_cost

@@ -1,0 +1,134 @@
+"""Equivalence classes of cells — the core data structure of BatchRepair.
+
+Cong et al.'s repair algorithm never assigns values to individual cells
+directly.  Instead it maintains *equivalence classes* of cells ``(tid,
+attribute)``; all cells in one class must receive the same value in the
+final repair.  Resolving a variable-CFD violation merges the RHS cells of
+the conflicting tuples into one class; resolving a constant-CFD violation
+pins the class of the offending cell to the pattern's constant.  Only at
+the end is each class assigned its cheapest target value and written back
+to the relation.
+
+The structure is a union–find with per-class metadata (a pinned constant,
+if any).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import RepairError
+
+
+Cell = tuple[int, str]
+
+
+class EquivalenceClasses:
+    """Union–find over cells with an optional pinned target per class."""
+
+    def __init__(self) -> None:
+        self._parent: dict[Cell, Cell] = {}
+        self._rank: dict[Cell, int] = {}
+        self._pinned: dict[Cell, Any] = {}  # root -> pinned constant
+
+    # -- union-find ---------------------------------------------------------
+
+    def add(self, cell: Cell) -> Cell:
+        """Register a cell (idempotent); returns its representative."""
+        cell = (cell[0], cell[1].lower())
+        if cell not in self._parent:
+            self._parent[cell] = cell
+            self._rank[cell] = 0
+        return self.find(cell)
+
+    def find(self, cell: Cell) -> Cell:
+        """Representative of the class containing *cell* (with path compression)."""
+        cell = (cell[0], cell[1].lower())
+        if cell not in self._parent:
+            return self.add(cell)
+        root = cell
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[cell] != root:
+            self._parent[cell], cell = root, self._parent[cell]
+        return root
+
+    def union(self, first: Cell, second: Cell) -> Cell:
+        """Merge the classes of the two cells; returns the new representative.
+
+        Raises :class:`~repro.errors.RepairError` if both classes are pinned
+        to different constants (the conflict the repair algorithm must then
+        resolve by editing an LHS attribute instead).
+        """
+        root_a, root_b = self.find(first), self.find(second)
+        if root_a == root_b:
+            return root_a
+        pin_a, pin_b = self._pinned.get(root_a), self._pinned.get(root_b)
+        if pin_a is not None and pin_b is not None and str(pin_a) != str(pin_b):
+            raise RepairError(
+                f"cannot merge classes pinned to different constants "
+                f"({pin_a!r} vs {pin_b!r})")
+        if self._rank[root_a] < self._rank[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        if self._rank[root_a] == self._rank[root_b]:
+            self._rank[root_a] += 1
+        surviving_pin = pin_a if pin_a is not None else pin_b
+        self._pinned.pop(root_b, None)
+        if surviving_pin is not None:
+            self._pinned[root_a] = surviving_pin
+        return root_a
+
+    def same_class(self, first: Cell, second: Cell) -> bool:
+        """Whether the two cells are in the same class."""
+        return self.find(first) == self.find(second)
+
+    # -- pinning --------------------------------------------------------------
+
+    def pin(self, cell: Cell, value: Any) -> None:
+        """Pin the class of *cell* to a constant target value.
+
+        Pinning an already-pinned class to a different constant raises
+        :class:`~repro.errors.RepairError`.
+        """
+        root = self.find(cell)
+        existing = self._pinned.get(root)
+        if existing is not None and str(existing) != str(value):
+            raise RepairError(
+                f"class of {cell} already pinned to {existing!r}, cannot repin to {value!r}")
+        self._pinned[root] = value
+
+    def pinned_value(self, cell: Cell) -> Any | None:
+        """The constant the class of *cell* is pinned to, if any."""
+        return self._pinned.get(self.find(cell))
+
+    def is_pinned(self, cell: Cell) -> bool:
+        return self.pinned_value(cell) is not None
+
+    # -- enumeration -------------------------------------------------------------
+
+    def cells(self) -> list[Cell]:
+        """All registered cells."""
+        return list(self._parent.keys())
+
+    def members(self, cell: Cell) -> list[Cell]:
+        """All cells in the same class as *cell*."""
+        root = self.find(cell)
+        return [c for c in self._parent if self.find(c) == root]
+
+    def classes(self) -> dict[Cell, list[Cell]]:
+        """Mapping representative → member cells."""
+        result: dict[Cell, list[Cell]] = {}
+        for cell in self._parent:
+            result.setdefault(self.find(cell), []).append(cell)
+        return result
+
+    def class_count(self) -> int:
+        """Number of distinct classes."""
+        return len({self.find(cell) for cell in self._parent})
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __repr__(self) -> str:
+        return f"EquivalenceClasses({len(self._parent)} cells, {self.class_count()} classes)"

@@ -1,0 +1,96 @@
+"""Repair-quality metrics: precision and recall against a known clean relation.
+
+The evaluation protocol of Cong et al. (reproduced by experiment E5):
+start from a clean relation, inject noise at a controlled rate to obtain
+the dirty relation, repair the dirty relation, then compare cell by cell:
+
+* an **error** is a cell whose dirty value differs from the clean value;
+* a **change** is a cell whose repaired value differs from the dirty value;
+* a change is **correct** when the repaired value equals the clean value.
+
+``precision = correct changes / changes`` (how much of what the repair
+touched was right) and ``recall = corrected errors / errors`` (how many of
+the injected errors were actually fixed); ``f1`` combines the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RepairError
+from repro.relational.relation import Relation
+
+
+@dataclass
+class RepairQuality:
+    """Cell-level accuracy of a repair."""
+
+    errors: int
+    changes: int
+    correct_changes: int
+    corrected_errors: int
+
+    @property
+    def precision(self) -> float:
+        """Fraction of changed cells whose new value equals the clean value."""
+        return self.correct_changes / self.changes if self.changes else 1.0
+
+    @property
+    def recall(self) -> float:
+        """Fraction of injected errors that the repair fixed."""
+        return self.corrected_errors / self.errors if self.errors else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "errors": self.errors,
+            "changes": self.changes,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+        }
+
+    def __repr__(self) -> str:
+        return (f"RepairQuality(errors={self.errors}, changes={self.changes}, "
+                f"precision={self.precision:.3f}, recall={self.recall:.3f}, f1={self.f1:.3f})")
+
+
+def evaluate_repair(clean: Relation, dirty: Relation, repaired: Relation) -> RepairQuality:
+    """Compare *repaired* against *clean*, treating *dirty* as the starting point.
+
+    The three relations must have the same schema and the same tuple ids
+    (as produced by the noise injector and the repair, which both preserve
+    tids).
+    """
+    if not clean.schema.equivalent(dirty.schema) or not clean.schema.equivalent(repaired.schema):
+        raise RepairError("evaluate_repair expects three relations over the same schema")
+
+    errors = changes = correct_changes = corrected_errors = 0
+    attributes = clean.schema.attribute_names
+    for tid in clean.tids():
+        if tid not in dirty or tid not in repaired:
+            continue
+        clean_row = clean.tuple(tid)
+        dirty_row = dirty.tuple(tid)
+        repaired_row = repaired.tuple(tid)
+        for attribute in attributes:
+            clean_value = str(clean_row[attribute])
+            dirty_value = str(dirty_row[attribute])
+            repaired_value = str(repaired_row[attribute])
+            is_error = dirty_value != clean_value
+            is_change = repaired_value != dirty_value
+            if is_error:
+                errors += 1
+                if repaired_value == clean_value:
+                    corrected_errors += 1
+            if is_change:
+                changes += 1
+                if repaired_value == clean_value:
+                    correct_changes += 1
+    return RepairQuality(errors=errors, changes=changes,
+                         correct_changes=correct_changes, corrected_errors=corrected_errors)

@@ -1,0 +1,20 @@
+"""Semandaq: the prototype data-quality system of the tutorial (§5).
+
+Semandaq demonstrates that constraints can drive a practical cleaning
+tool: the user registers data and CFDs/CINDs, the system detects
+violations using SQL-based techniques, proposes a minimal-cost candidate
+repair, and lets the user inspect the repair, confirm or override
+individual cells, and re-repair taking those manual decisions into
+account.
+
+* :class:`~repro.semandaq.session.SemandaqSession` — the interactive
+  workflow (register → detect → repair → edit → re-repair);
+* :mod:`repro.semandaq.report` — violation and repair reports;
+* :mod:`repro.semandaq.cli` — a small command-line front end
+  (``python -m repro.semandaq.cli data.csv constraints.txt``).
+"""
+
+from repro.semandaq.session import SemandaqSession
+from repro.semandaq.report import repair_report, violation_report
+
+__all__ = ["SemandaqSession", "violation_report", "repair_report"]

@@ -1,0 +1,65 @@
+"""Command-line front end for Semandaq.
+
+Usage::
+
+    python -m repro.semandaq.cli DATA.csv CONSTRAINTS.txt [--repair OUT.csv]
+
+``DATA.csv`` is loaded as a relation named after the file; ``CONSTRAINTS.txt``
+contains one CFD per line in the textual syntax of
+:mod:`repro.constraints.parse` (blank lines and ``#`` comments allowed).
+The tool prints the violation report; with ``--repair`` it also computes a
+repair and writes the repaired relation to ``OUT.csv``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.relational.csvio import read_csv, relation_to_csv
+from repro.semandaq.session import SemandaqSession
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="semandaq",
+        description="Detect and repair CFD violations in a CSV file.")
+    parser.add_argument("data", help="CSV file containing the relation to clean")
+    parser.add_argument("constraints", help="text file with one CFD per line")
+    parser.add_argument("--repair", metavar="OUT",
+                        help="compute a repair and write the repaired relation to OUT")
+    parser.add_argument("--relation-name", default=None,
+                        help="relation name used in the CFDs (default: the CSV file stem)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    arguments = build_parser().parse_args(argv)
+    data_path = Path(arguments.data)
+    relation_name = arguments.relation_name or data_path.stem
+    relation = read_csv(data_path, relation_name)
+
+    session = SemandaqSession(relation)
+    constraints_text = Path(arguments.constraints).read_text(encoding="utf-8")
+    cfds = session.register_cfds(constraints_text)
+    print(f"loaded {len(relation)} tuples and {len(cfds)} CFD(s)")
+
+    consistency = session.check_consistency()
+    if not consistency["satisfiable"]:
+        print("warning: the CFD set is not satisfiable by any non-empty instance")
+
+    session.detect()
+    print(session.report())
+
+    if arguments.repair:
+        repair = session.apply_repair(relation_name)
+        relation_to_csv(session.database.relation(relation_name), arguments.repair)
+        print(f"wrote repaired relation ({len(repair.changes)} cells changed) "
+              f"to {arguments.repair}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Human-readable violation and repair reports for Semandaq."""
+
+from __future__ import annotations
+
+from repro.constraints.violations import CFDViolation, ViolationReport
+from repro.relational.database import Database
+from repro.relational.types import value_repr
+from repro.repair.batch_repair import Repair
+
+
+def violation_report(report: ViolationReport, database: Database | None = None,
+                     sample_size: int = 5) -> str:
+    """Render a violation report: summary, per-constraint counts, sample violations."""
+    lines = ["violations:", f"  {report.summary()}"]
+    for constraint, count in sorted(report.count_by_constraint().items()):
+        lines.append(f"  {count:6d} x {constraint}")
+    samples = list(report.violations)[:sample_size]
+    if samples:
+        lines.append("  sample violations:")
+    for violation in samples:
+        if isinstance(violation, CFDViolation):
+            kind = "single-tuple" if violation.is_single_tuple else f"group({violation.group_size})"
+            lines.append(f"    [{kind}] tids {list(violation.tids)}")
+            if database is not None and database.has_relation(violation.cfd.relation_name):
+                relation = database.relation(violation.cfd.relation_name)
+                for tid in violation.tids[:2]:
+                    if tid in relation:
+                        cells = ", ".join(
+                            f"{a}={value_repr(relation.value(tid, a))}"
+                            for a in violation.cfd.attributes())
+                        lines.append(f"      t{tid}: {cells}")
+        else:
+            lines.append(f"    [inclusion] tid {violation.tid} of "
+                         f"{violation.cind.lhs_relation} has no partner in "
+                         f"{violation.cind.rhs_relation}")
+    return "\n".join(lines)
+
+
+def repair_report(repair: Repair, sample_size: int = 5) -> str:
+    """Render a repair: summary plus a sample of the proposed cell changes."""
+    lines = ["candidate repair:", f"  {repair.summary()}"]
+    for change in repair.changes[:sample_size]:
+        lines.append(
+            f"    t{change.tid}.{change.attribute}: "
+            f"{value_repr(change.old_value)} -> {value_repr(change.new_value)}")
+    if len(repair.changes) > sample_size:
+        lines.append(f"    ... ({len(repair.changes) - sample_size} more changes)")
+    return "\n".join(lines)

@@ -1,0 +1,187 @@
+"""Tests for the constraint parser and the CFD reasoning algorithms."""
+
+import pytest
+
+from repro.errors import ConstraintParseError
+from repro.constraints.cfd import CFD
+from repro.constraints.parse import parse_cfd, parse_cfds, parse_cind, parse_fd
+from repro.constraints.reasoning import (
+    find_witness_tuple,
+    implies,
+    is_satisfiable,
+    minimal_cover,
+    pairwise_conflicts,
+)
+from repro.constraints.tableau import UNDERSCORE, PatternTuple
+
+
+class TestParseFD:
+    def test_basic(self):
+        fd = parse_fd("customer: [cc, zip] -> [street]")
+        assert fd.lhs == ("cc", "zip") and fd.rhs == ("street",)
+
+    def test_bad_syntax(self):
+        with pytest.raises(ConstraintParseError):
+            parse_fd("customer cc -> street")
+
+
+class TestParseCFD:
+    def test_paper_example_one(self):
+        cfd = parse_cfd("customer([cc='44', zip] -> [street])")
+        assert cfd.lhs == ("cc", "zip")
+        assert cfd.tableau[0].constant("cc") == "44"
+        assert not cfd.tableau[0].is_constant_on("zip")
+
+    def test_paper_example_two(self):
+        cfd = parse_cfd("customer([cc='01', ac='908', phn] -> [street, city='mh', zip])")
+        pattern = cfd.tableau[0]
+        assert pattern.constant("city") == "mh"
+        assert cfd.rhs == ("street", "city", "zip")
+
+    def test_bare_constants(self):
+        cfd = parse_cfd("customer([cc=44, zip] -> [street])")
+        assert cfd.tableau[0].constant("cc") == "44"
+
+    def test_explicit_wildcard(self):
+        cfd = parse_cfd("customer([cc='44', zip=_] -> [street=_])")
+        assert not cfd.tableau[0].is_constant_on("zip")
+        assert not cfd.tableau[0].is_constant_on("street")
+
+    def test_quoted_constant_with_spaces_and_quote(self):
+        cfd = parse_cfd("customer([city='new york', zip] -> [street='o''hara st'])")
+        assert cfd.tableau[0].constant("city") == "new york"
+        assert cfd.tableau[0].constant("street") == "o'hara st"
+
+    def test_fd_syntax_becomes_wildcard_cfd(self):
+        cfd = parse_cfd("customer: [zip] -> [city]")
+        assert cfd.is_variable()
+
+    def test_multi_line_block_with_comments(self):
+        cfds = parse_cfds(
+            """
+            # UK rule
+            customer([cc='44', zip] -> [street])
+
+            customer([cc='01', ac='908', phn] -> [street, city='mh', zip])  # US rule
+            """
+        )
+        assert len(cfds) == 2
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(ConstraintParseError, match="line 2"):
+            parse_cfds("customer([cc='44', zip] -> [street])\n???")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConstraintParseError):
+            parse_cfd("this is not a cfd")
+
+
+class TestParseCIND:
+    def test_paper_example(self):
+        cind = parse_cind(
+            "CD(album, price; genre='a-book') SUBSET book(title, price; format='audio')")
+        assert cind.lhs_attributes == ("album", "price")
+        assert cind.rhs_attributes == ("title", "price")
+        assert cind.lhs_pattern.constant("genre") == "a-book"
+        assert cind.rhs_pattern.constant("format") == "audio"
+
+    def test_unicode_subset_symbol(self):
+        cind = parse_cind("cd(album) ⊆ book(title)")
+        assert cind.is_standard_ind()
+
+    def test_missing_subset_rejected(self):
+        with pytest.raises(ConstraintParseError):
+            parse_cind("cd(album) book(title)")
+
+
+class TestSatisfiability:
+    def test_empty_set_is_satisfiable(self):
+        assert is_satisfiable([])
+
+    def test_consistent_constants(self):
+        cfds = [
+            parse_cfd("customer([cc='44', zip] -> [street])"),
+            parse_cfd("customer([cc='01', ac='908', phn] -> [street, city='mh', zip])"),
+        ]
+        assert is_satisfiable(cfds)
+        witness = find_witness_tuple(cfds)
+        assert witness is not None
+
+    def test_wildcard_lhs_conflicting_rhs_constants_unsatisfiable(self):
+        # every tuple must have city='mh' AND city='nyc' -> impossible
+        cfds = [
+            CFD.single("r", ["a"], ["city"], {"city": "mh"}),
+            CFD.single("r", ["a"], ["city"], {"city": "nyc"}),
+        ]
+        assert not is_satisfiable(cfds)
+
+    def test_conditioned_conflicts_are_satisfiable(self):
+        # conflicting RHS constants but guarded by a constant LHS: a tuple
+        # can simply avoid cc='44'
+        cfds = [
+            CFD.single("r", ["cc"], ["city"], {"cc": "44", "city": "mh"}),
+            CFD.single("r", ["cc"], ["city"], {"cc": "44", "city": "nyc"}),
+        ]
+        assert is_satisfiable(cfds)
+        witness = find_witness_tuple(cfds)
+        assert str(witness["cc"]) != "44"
+
+    def test_witness_respects_forced_constant(self):
+        cfds = [CFD.single("r", ["a"], ["b"], {"b": "x"})]
+        witness = find_witness_tuple(cfds)
+        assert witness["b"] == "x"
+
+    def test_mixed_relations_rejected(self):
+        cfds = [CFD.single("r", ["a"], ["b"]), CFD.single("s", ["a"], ["b"])]
+        with pytest.raises(Exception):
+            find_witness_tuple(cfds)
+
+
+class TestImplication:
+    def test_reflexivity(self):
+        cfd = parse_cfd("customer([cc='44', zip] -> [street])")
+        assert implies([cfd], cfd)
+
+    def test_fd_transitivity_lifts_to_cfds(self):
+        sigma = [CFD.single("r", ["a"], ["b"]), CFD.single("r", ["b"], ["c"])]
+        assert implies(sigma, CFD.single("r", ["a"], ["c"]))
+        assert not implies(sigma, CFD.single("r", ["c"], ["a"]))
+
+    def test_more_specific_pattern_is_implied(self):
+        general = CFD.single("customer", ["cc", "zip"], ["street"])
+        specific = CFD.single("customer", ["cc", "zip"], ["street"], {"cc": "44"})
+        assert implies([general], specific)
+        assert not implies([specific], general)
+
+    def test_constant_propagation(self):
+        sigma = [CFD.single("r", ["cc"], ["city"], {"cc": "01", "city": "mh"})]
+        candidate = CFD.single("r", ["cc"], ["city"], {"cc": "01", "city": "mh"})
+        assert implies(sigma, candidate)
+        other_city = CFD.single("r", ["cc"], ["city"], {"cc": "01", "city": "nyc"})
+        assert not implies(sigma, other_city)
+
+    def test_unrelated_cfd_not_implied(self):
+        sigma = [CFD.single("r", ["a"], ["b"])]
+        assert not implies(sigma, CFD.single("r", ["a"], ["c"]))
+
+
+class TestMinimalCoverAndConflicts:
+    def test_redundant_cfd_removed(self):
+        general = CFD.single("customer", ["cc", "zip"], ["street"])
+        specific = CFD.single("customer", ["cc", "zip"], ["street"], {"cc": "44"})
+        cover = minimal_cover([general, specific])
+        assert len(cover) == 1
+        assert not cover[0].tableau[0].constants()
+
+    def test_transitive_redundancy_removed(self):
+        sigma = [CFD.single("r", ["a"], ["b"]), CFD.single("r", ["b"], ["c"]),
+                 CFD.single("r", ["a"], ["c"])]
+        cover = minimal_cover(sigma)
+        assert len(cover) == 2
+
+    def test_pairwise_conflicts_found(self):
+        first = CFD.single("r", ["cc"], ["city"], {"cc": "44", "city": "mh"})
+        second = CFD.single("r", ["cc"], ["city"], {"cc": "44", "city": "nyc"})
+        third = CFD.single("r", ["cc"], ["city"], {"cc": "01", "city": "la"})
+        conflicts = pairwise_conflicts([first, second, third])
+        assert len(conflicts) == 1

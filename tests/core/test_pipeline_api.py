@@ -1,0 +1,101 @@
+"""Tests for the high-level facade (repro.core and the top-level package)."""
+
+import pytest
+
+import repro
+from repro.core.pipeline import (
+    CleaningPipeline,
+    detect_violations,
+    discover_cfds,
+    match_records,
+    repair,
+)
+from repro.datagen.cards import CardBillingGenerator
+from repro.datagen.customer import CustomerGenerator
+from repro.datagen.noise import inject_noise
+from repro.datagen.orders import OrdersGenerator
+from repro.detection.cfd_detect import detect_cfd_violations
+from repro.errors import ReproError
+from repro.matching.rules import Comparator, MatchingRule
+
+
+class TestTopLevelPackage:
+    def test_version_and_exports(self):
+        assert repro.__version__
+        for name in ("Relation", "CFD", "detect_violations", "repair", "SemandaqSession"):
+            assert hasattr(repro, name)
+
+
+class TestDetectAndRepairFacade:
+    @pytest.fixture
+    def workload(self):
+        generator = CustomerGenerator(seed=41)
+        clean = generator.generate(200)
+        noise = inject_noise(clean, rate=0.04, attributes=["street", "city"], seed=1)
+        return generator, clean, noise.dirty
+
+    def test_detect_violations_with_textual_cfds(self, workload):
+        _, _, dirty = workload
+        report = detect_violations(dirty, cfds=["customer([cc='44', zip] -> [street])"])
+        assert report.tuples_checked == len(dirty)
+
+    def test_detect_violations_requires_constraints(self, workload):
+        _, _, dirty = workload
+        with pytest.raises(ReproError):
+            detect_violations(dirty)
+
+    def test_detect_violations_on_database_with_cinds(self):
+        database, expected = OrdersGenerator(seed=2).generate(200, violation_rate=0.1)
+        report = detect_violations(database, cinds=[OrdersGenerator.canonical_cind()])
+        assert len(report.cind_violations()) == expected
+
+    def test_cind_detection_requires_database(self, workload):
+        _, _, dirty = workload
+        with pytest.raises(ReproError):
+            detect_violations(dirty, cinds=[OrdersGenerator.canonical_cind()])
+
+    def test_repair_facade(self, workload):
+        generator, _, dirty = workload
+        result = repair(dirty, generator.canonical_cfds())
+        assert detect_cfd_violations(result.relation, generator.canonical_cfds()).is_clean()
+
+    def test_pipeline_with_quality(self, workload):
+        generator, clean, dirty = workload
+        pipeline = CleaningPipeline(generator.canonical_cfds())
+        result = pipeline.run(dirty, clean=clean)
+        assert not result.report.is_clean()
+        assert result.quality is not None and result.quality.recall > 0.5
+        assert "precision" in repr(result.quality)
+        assert "violations" in result.summary()
+
+    def test_pipeline_needs_cfds(self):
+        with pytest.raises(ReproError):
+            CleaningPipeline([])
+
+
+class TestDiscoveryAndMatchingFacade:
+    def test_discover_cfds_facade(self):
+        relation = CustomerGenerator(seed=41).generate(150)
+        constant_only = discover_cfds(relation, min_support=5, constant_only=True)
+        both = discover_cfds(relation, min_support=5)
+        assert len(both) >= len(constant_only)
+
+    def test_match_records_with_rules(self):
+        workload = CardBillingGenerator(seed=3).generate(holders=30, dirty_rate=0.3)
+        rules = [
+            MatchingRule.build([Comparator.equality("phn")], ["addr"]),
+            MatchingRule.build([Comparator.equality("email")], ["fn", "ln"]),
+            MatchingRule.build(
+                [Comparator.equality("ln"), Comparator.equality("addr"),
+                 Comparator.similar("fn", threshold=0.7)],
+                ["fn", "ln", "addr", "phn", "email"]),
+        ]
+        decisions = match_records(workload.card, workload.billing, rules=rules,
+                                  target=["fn", "ln", "addr", "phn", "email"])
+        predicted = {d.pair for d in decisions}
+        assert predicted & workload.true_matches
+
+    def test_match_records_needs_rules_or_rcks(self):
+        workload = CardBillingGenerator(seed=3).generate(holders=5)
+        with pytest.raises(ReproError):
+            match_records(workload.card, workload.billing)

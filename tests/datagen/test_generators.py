@@ -1,0 +1,151 @@
+"""Tests for the synthetic workload generators and noise injection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.cards import CardBillingGenerator
+from repro.datagen.customer import CustomerGenerator
+from repro.datagen.noise import inject_noise
+from repro.datagen.orders import OrdersGenerator
+from repro.detection.cfd_detect import detect_cfd_violations
+from repro.detection.cind_detect import detect_cind_violations
+from repro.errors import ReproError
+
+
+class TestCustomerGenerator:
+    def test_requested_size(self):
+        relation = CustomerGenerator(seed=1).generate(250)
+        assert len(relation) == 250
+        assert relation.schema.has_attribute("zip")
+
+    def test_clean_data_satisfies_canonical_cfds(self):
+        generator = CustomerGenerator(seed=1)
+        relation = generator.generate(400)
+        report = detect_cfd_violations(relation, generator.canonical_cfds())
+        assert report.is_clean()
+
+    def test_deterministic_given_seed(self):
+        first = CustomerGenerator(seed=4).generate(50).to_dicts()
+        second = CustomerGenerator(seed=4).generate(50).to_dicts()
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = CustomerGenerator(seed=4).generate(50).to_dicts()
+        second = CustomerGenerator(seed=5).generate(50).to_dicts()
+        assert first != second
+
+    def test_contains_both_countries(self):
+        relation = CustomerGenerator(seed=1).generate(300)
+        assert relation.active_domain("cc") == {"44", "01"}
+
+    def test_extended_cfds_for_tableau_experiments(self):
+        cfds = CustomerGenerator.extended_cfds(10)
+        assert len(cfds) == 10
+        assert all(cfd.lhs == ("cc", "zip") for cfd in cfds)
+
+
+class TestNoiseInjection:
+    def test_rate_zero_changes_nothing(self):
+        clean = CustomerGenerator(seed=2).generate(100)
+        result = inject_noise(clean, rate=0.0)
+        assert result.errors == []
+        assert result.dirty.to_dicts() == clean.to_dicts()
+
+    def test_errors_recorded_match_differences(self):
+        clean = CustomerGenerator(seed=2).generate(150)
+        result = inject_noise(clean, rate=0.05, attributes=["street", "city"], seed=3)
+        assert result.errors
+        for error in result.errors:
+            assert str(result.dirty.value(error.tid, error.attribute)) == str(error.dirty_value)
+            assert str(clean.value(error.tid, error.attribute)) == str(error.clean_value)
+
+    def test_clean_relation_untouched(self):
+        clean = CustomerGenerator(seed=2).generate(100)
+        snapshot = clean.to_dicts()
+        inject_noise(clean, rate=0.2, seed=3)
+        assert clean.to_dicts() == snapshot
+
+    def test_noise_creates_detectable_violations(self):
+        generator = CustomerGenerator(seed=2)
+        clean = generator.generate(300)
+        result = inject_noise(clean, rate=0.05, attributes=["street", "city"], seed=3)
+        report = detect_cfd_violations(result.dirty, generator.canonical_cfds())
+        assert not report.is_clean()
+
+    def test_invalid_rate_rejected(self):
+        clean = CustomerGenerator(seed=2).generate(10)
+        with pytest.raises(ReproError):
+            inject_noise(clean, rate=1.5)
+        with pytest.raises(ReproError):
+            inject_noise(clean, rate=0.1, kind="gremlins")
+
+    def test_null_noise_kind(self):
+        clean = CustomerGenerator(seed=2).generate(100)
+        result = inject_noise(clean, rate=0.1, attributes=["street"], kind="null", seed=3)
+        assert any(result.dirty.null_count("street") > 0 for _ in [0])
+
+    def test_typo_noise_kind(self):
+        clean = CustomerGenerator(seed=2).generate(100)
+        result = inject_noise(clean, rate=0.1, attributes=["street"], kind="typo", seed=3)
+        assert result.errors
+        assert all(not str(e.dirty_value) == str(e.clean_value) for e in result.errors)
+
+    @given(st.floats(min_value=0.0, max_value=0.3), st.integers(0, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_achieved_rate_close_to_requested(self, rate, seed):
+        clean = CustomerGenerator(seed=2).generate(120)
+        result = inject_noise(clean, rate=rate, seed=seed)
+        requested_cells = int(round(rate * len(clean) * len(clean.schema)))
+        assert len(result.errors) <= requested_cells
+        # domain noise always finds a different value for these attributes,
+        # so nearly every selected cell becomes an error
+        assert len(result.errors) >= int(0.8 * requested_cells) - 1
+
+
+class TestOrdersGenerator:
+    def test_violation_count_matches_detection(self):
+        generator = OrdersGenerator(seed=6)
+        database, expected = generator.generate(cd_count=400, violation_rate=0.1)
+        report = detect_cind_violations(database, [generator.canonical_cind()])
+        assert len(report.cind_violations()) == expected
+
+    def test_zero_violation_rate_is_clean(self):
+        generator = OrdersGenerator(seed=6)
+        database, expected = generator.generate(cd_count=200, violation_rate=0.0)
+        assert expected == 0
+        assert detect_cind_violations(database, [generator.canonical_cind()]).is_clean()
+
+    def test_relations_present(self):
+        database, _ = OrdersGenerator(seed=6).generate(cd_count=50)
+        assert database.has_relation("cd") and database.has_relation("book")
+
+
+class TestCardBillingGenerator:
+    def test_ground_truth_covers_all_billing_tuples(self):
+        workload = CardBillingGenerator(seed=8).generate(holders=40, billings_per_holder=2)
+        assert len(workload.true_matches) == len(workload.billing)
+
+    def test_dirty_rate_zero_keeps_exact_copies(self):
+        workload = CardBillingGenerator(seed=8).generate(holders=30, dirty_rate=0.0)
+        for card_tid, billing_tid in workload.true_matches:
+            card_row = workload.card.tuple(card_tid)
+            billing_row = workload.billing.tuple(billing_tid)
+            for attribute in ("fn", "ln", "addr", "phn", "email"):
+                assert card_row[attribute] == billing_row[attribute]
+
+    def test_dirty_rate_one_perturbs_most_records(self):
+        workload = CardBillingGenerator(seed=8).generate(holders=40, dirty_rate=1.0)
+        differing = 0
+        for card_tid, billing_tid in workload.true_matches:
+            card_row = workload.card.tuple(card_tid)
+            billing_row = workload.billing.tuple(billing_tid)
+            if any(str(card_row[a]) != str(billing_row[a])
+                   for a in ("fn", "ln", "addr", "phn", "email")):
+                differing += 1
+        assert differing >= 0.9 * len(workload.true_matches)
+
+    def test_deterministic(self):
+        first = CardBillingGenerator(seed=8).generate(holders=20)
+        second = CardBillingGenerator(seed=8).generate(holders=20)
+        assert first.billing.to_dicts() == second.billing.to_dicts()

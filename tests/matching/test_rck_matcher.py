@@ -1,0 +1,152 @@
+"""Tests for RCKs, their derivation from rules, and the record matcher."""
+
+import pytest
+
+from repro.datagen.cards import CardBillingGenerator
+from repro.errors import MatchingError
+from repro.matching.derivation import concluded_matches, derive_rcks, entails_target
+from repro.matching.evaluation import evaluate_matching
+from repro.matching.matcher import RecordMatcher
+from repro.matching.rck import RelativeCandidateKey
+from repro.matching.rules import Comparator, MatchingRule
+
+
+def tutorial_rules():
+    """The tutorial's rules (a), (b), (c) over (card, billing)."""
+    rule_a = MatchingRule.build([Comparator.equality("phn")], ["addr"], name="a")
+    rule_b = MatchingRule.build([Comparator.equality("email")], ["fn", "ln"], name="b")
+    rule_c = MatchingRule.build(
+        [Comparator.equality("ln"), Comparator.equality("addr"),
+         Comparator.similar("fn", threshold=0.7)],
+        ["fn", "ln", "addr", "phn", "email"], name="c")
+    return [rule_a, rule_b, rule_c]
+
+
+TARGET = ["fn", "ln", "addr", "phn", "email"]
+
+
+class TestRCK:
+    def test_build_and_repr(self):
+        rck = RelativeCandidateKey.build(
+            [Comparator.equality("email"), Comparator.equality("addr")], TARGET, name="rck1")
+        assert rck.arity() == 2
+        assert not rck.uses_similarity()
+        assert "rck1" in repr(rck) and "‖" in repr(rck)
+
+    def test_needs_comparators(self):
+        with pytest.raises(MatchingError):
+            RelativeCandidateKey.build([], TARGET)
+
+    def test_subsumption(self):
+        small = RelativeCandidateKey.build([Comparator.equality("email")], TARGET)
+        large = RelativeCandidateKey.build(
+            [Comparator.equality("email"), Comparator.equality("addr")], TARGET)
+        assert small.subsumes(large)
+        assert not large.subsumes(small)
+
+    def test_equality_satisfies_similarity_requirement(self):
+        similar = RelativeCandidateKey.build([Comparator.similar("fn")], TARGET)
+        equal = RelativeCandidateKey.build([Comparator.equality("fn")], TARGET)
+        assert similar.subsumes(equal)
+        assert not equal.subsumes(similar)
+
+
+class TestDerivation:
+    def test_tutorial_rcks_are_derived(self):
+        rcks = derive_rcks(tutorial_rules(), TARGET)
+        signatures = {
+            tuple(sorted((c.left_attribute, c.operator) for c in rck.comparators))
+            for rck in rcks
+        }
+        # rck1 = ([email, addr] ‖ [=, =])
+        assert (("addr", "="), ("email", "=")) in signatures
+        # rck2 = ([ln, phn, fn] ‖ [=, =, ≈])
+        assert (("fn", "~"), ("ln", "="), ("phn", "=")) in signatures
+
+    def test_derived_keys_are_minimal(self):
+        rcks = derive_rcks(tutorial_rules(), TARGET)
+        for i, first in enumerate(rcks):
+            for second in rcks[i + 1:]:
+                assert not first.subsumes(second)
+                assert not second.subsumes(first)
+
+    def test_closure_computation(self):
+        rules = tutorial_rules()
+        matched = concluded_matches([Comparator.equality("email"),
+                                     Comparator.equality("addr")], rules)
+        assert ("fn", "fn") in matched and ("phn", "phn") in matched
+
+    def test_entails_target(self):
+        rules = tutorial_rules()
+        assert entails_target([Comparator.equality("email"), Comparator.equality("addr")],
+                              rules, [(a, a) for a in TARGET])
+        assert not entails_target([Comparator.equality("email")],
+                                  rules, [(a, a) for a in TARGET])
+
+    def test_no_rules_rejected(self):
+        with pytest.raises(MatchingError):
+            derive_rcks([], TARGET)
+
+    def test_names_assigned(self):
+        rcks = derive_rcks(tutorial_rules(), TARGET)
+        assert rcks[0].name == "rck1"
+
+
+class TestRecordMatcher:
+    @pytest.fixture
+    def workload(self):
+        return CardBillingGenerator(seed=5).generate(holders=60, dirty_rate=0.35)
+
+    @pytest.fixture
+    def rcks(self):
+        return derive_rcks(tutorial_rules(), TARGET)
+
+    def test_rcks_beat_exact_key_on_dirty_data(self, workload, rcks):
+        exact_key = [RelativeCandidateKey.build(
+            [Comparator.equality(a) for a in TARGET], TARGET, name="exact")]
+        exact = RecordMatcher(workload.card, workload.billing, exact_key)
+        derived = RecordMatcher(workload.card, workload.billing, rcks)
+        exact_quality = evaluate_matching(exact.matched_pairs(), workload.true_matches)
+        derived_quality = evaluate_matching(derived.matched_pairs(), workload.true_matches)
+        assert derived_quality.recall > exact_quality.recall
+        assert derived_quality.precision >= 0.95
+
+    def test_blocking_reduces_candidate_pairs(self, workload, rcks):
+        unblocked = RecordMatcher(workload.card, workload.billing, rcks)
+        blocked = RecordMatcher(workload.card, workload.billing, rcks, blocking=("phn", "phn"))
+        unblocked.match()
+        blocked.match()
+        assert blocked.candidate_pairs_examined < unblocked.candidate_pairs_examined
+
+    def test_matches_by_rck_breakdown(self, workload, rcks):
+        matcher = RecordMatcher(workload.card, workload.billing, rcks)
+        breakdown = matcher.matches_by_rck()
+        assert sum(breakdown.values()) == len(matcher.matched_pairs())
+
+    def test_unknown_attribute_rejected(self, workload):
+        bad = [RelativeCandidateKey.build([Comparator.equality("ghost")], TARGET)]
+        with pytest.raises(MatchingError):
+            RecordMatcher(workload.card, workload.billing, bad)
+
+    def test_bad_blocking_attribute_rejected(self, workload, rcks):
+        with pytest.raises(MatchingError):
+            RecordMatcher(workload.card, workload.billing, rcks, blocking=("ghost", "phn"))
+
+    def test_needs_at_least_one_rck(self, workload):
+        with pytest.raises(MatchingError):
+            RecordMatcher(workload.card, workload.billing, [])
+
+
+class TestEvaluation:
+    def test_counts(self):
+        quality = evaluate_matching({(1, 1), (2, 2), (3, 9)}, {(1, 1), (2, 2), (4, 4)})
+        assert quality.true_positives == 2
+        assert quality.false_positives == 1
+        assert quality.false_negatives == 1
+        assert 0 < quality.precision < 1 and 0 < quality.recall < 1
+
+    def test_perfect_and_empty(self):
+        perfect = evaluate_matching({(1, 1)}, {(1, 1)})
+        assert perfect.f1 == 1.0
+        empty = evaluate_matching(set(), set())
+        assert empty.precision == 1.0 and empty.recall == 1.0

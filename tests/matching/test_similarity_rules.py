@@ -1,0 +1,133 @@
+"""Tests for string similarity functions and matching rules/comparators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MatchingError
+from repro.matching.rules import Comparator, MatchingRule
+from repro.matching.similarity import (
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    normalized_edit_similarity,
+    qgram_jaccard_similarity,
+    similarity,
+    token_jaccard_similarity,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.types import NULL
+
+text = st.text(alphabet=st.characters(whitelist_categories=("Ll", "Nd")), max_size=12)
+
+
+class TestLevenshtein:
+    def test_known_distances(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+        assert levenshtein_distance("flaw", "lawn") == 2
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "abc") == 0
+
+    @given(text, text)
+    def test_symmetry(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+    @given(text, text)
+    def test_bounds(self, a, b):
+        d = levenshtein_distance(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+    @given(text, text, text)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein_distance(a, c) <= (
+            levenshtein_distance(a, b) + levenshtein_distance(b, c))
+
+
+class TestSimilarityFunctions:
+    def test_identity_is_one(self):
+        for function in (normalized_edit_similarity, jaro_similarity,
+                         jaro_winkler_similarity, qgram_jaccard_similarity,
+                         token_jaccard_similarity):
+            assert function("mountain ave", "mountain ave") == 1.0
+
+    def test_disjoint_strings_score_low(self):
+        assert normalized_edit_similarity("abc", "xyz") == 0.0
+        assert jaro_similarity("abc", "xyz") == 0.0
+        assert qgram_jaccard_similarity("abc", "xyz") == 0.0
+
+    def test_jaro_winkler_rewards_shared_prefix(self):
+        assert jaro_winkler_similarity("michael", "michel") > jaro_similarity("michael", "michel")
+
+    def test_nickname_is_similar(self):
+        assert similarity("mike", "michael", "jaro_winkler") > 0.7
+
+    def test_token_similarity_for_addresses(self):
+        assert token_jaccard_similarity("10 mountain avenue", "mountain avenue 10") == 1.0
+
+    def test_null_handling(self):
+        assert similarity(NULL, NULL) == 1.0
+        assert similarity(NULL, "x") == 0.0
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            similarity("a", "b", "sound-of-music")
+
+    @given(text, text)
+    def test_all_similarities_are_in_unit_interval(self, a, b):
+        for method in ("edit", "jaro", "jaro_winkler", "qgram", "token"):
+            value = similarity(a, b, method)
+            assert 0.0 <= value <= 1.0 + 1e-12
+
+    @given(text, text)
+    def test_edit_similarity_symmetry(self, a, b):
+        assert normalized_edit_similarity(a, b) == pytest.approx(
+            normalized_edit_similarity(b, a))
+
+
+class TestComparatorsAndRules:
+    @pytest.fixture
+    def rows(self):
+        schema = RelationSchema("r", [Attribute("fn"), Attribute("ln"), Attribute("phn")])
+        relation = Relation.from_dicts(schema, [
+            {"fn": "michael", "ln": "smith", "phn": "555"},
+            {"fn": "mike", "ln": "smith", "phn": "555"},
+            {"fn": "anna", "ln": "jones", "phn": "777"},
+        ])
+        return relation.tuples()
+
+    def test_equality_comparator(self, rows):
+        comparator = Comparator.equality("ln")
+        assert comparator.matches_pair(rows[0], rows[1])
+        assert not comparator.matches_pair(rows[0], rows[2])
+
+    def test_similarity_comparator(self, rows):
+        comparator = Comparator.similar("fn", threshold=0.75)
+        assert comparator.matches_pair(rows[0], rows[1])
+        assert not comparator.matches_pair(rows[0], rows[2])
+
+    def test_null_never_matches(self, rows):
+        comparator = Comparator.equality("fn")
+        assert not comparator.compare(NULL, NULL)
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(MatchingError):
+            Comparator("a", "b", operator="!")
+        with pytest.raises(MatchingError):
+            Comparator("a", "b", operator="~", threshold=0.0)
+
+    def test_rule_applies(self, rows):
+        rule = MatchingRule.build(
+            [Comparator.equality("ln"), Comparator.similar("fn", threshold=0.75)],
+            ["fn", "ln", "phn"], name="r1")
+        assert rule.applies_to(rows[0], rows[1])
+        assert not rule.applies_to(rows[0], rows[2])
+        assert rule.concluded_pairs() == (("fn", "fn"), ("ln", "ln"), ("phn", "phn"))
+
+    def test_rule_needs_comparators(self):
+        with pytest.raises(MatchingError):
+            MatchingRule.build([], ["fn"])
+
+    def test_rule_conclusion_arity_checked(self):
+        with pytest.raises(MatchingError):
+            MatchingRule((Comparator.equality("a"),), ("x", "y"), ("x",))

@@ -1,0 +1,259 @@
+"""Tests for the SQL tokenizer, parser and executor."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SQLExecutionError, SQLSyntaxError
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.sql.engine import SQLEngine
+from repro.relational.sql.parser import parse_sql
+from repro.relational.sql.tokenizer import tokenize
+from repro.relational.types import NULL, AttributeType, is_null
+
+
+@pytest.fixture
+def database():
+    db = Database()
+    customer_schema = RelationSchema("customer", [
+        Attribute("cc", AttributeType.STRING),
+        Attribute("ac", AttributeType.STRING),
+        Attribute("phn", AttributeType.STRING),
+        Attribute("city", AttributeType.STRING),
+        Attribute("zip", AttributeType.STRING),
+        Attribute("street", AttributeType.STRING),
+    ])
+    db.create_from_dicts(customer_schema, [
+        {"cc": "44", "ac": "131", "phn": "1111", "city": "edi", "zip": "EH8", "street": "mayfield"},
+        {"cc": "44", "ac": "131", "phn": "2222", "city": "edi", "zip": "EH8", "street": "mayfield"},
+        {"cc": "44", "ac": "131", "phn": "3333", "city": "ldn", "zip": "EH8", "street": "crichton"},
+        {"cc": "01", "ac": "908", "phn": "4444", "city": "mh", "zip": "07974", "street": "mtn ave"},
+        {"cc": "01", "ac": "908", "phn": "4444", "city": "nyc", "zip": "07974", "street": "mtn ave"},
+        {"cc": "01", "ac": "212", "phn": "5555", "city": "nyc", "zip": "10012", "street": NULL},
+    ])
+    orders_schema = RelationSchema("orders", [
+        Attribute("phn", AttributeType.STRING),
+        Attribute("amount", AttributeType.INTEGER),
+    ])
+    db.create_from_dicts(orders_schema, [
+        {"phn": "1111", "amount": 10},
+        {"phn": "1111", "amount": 20},
+        {"phn": "4444", "amount": 30},
+        {"phn": "9999", "amount": 40},
+    ])
+    return db
+
+
+@pytest.fixture
+def engine(database):
+    return SQLEngine(database)
+
+
+class TestTokenizer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SeLeCt * FrOm t")
+        assert tokens[0].is_keyword("select")
+        assert tokens[2].is_keyword("from")
+
+    def test_string_escaping(self):
+        tokens = tokenize("SELECT 'o''brien'")
+        assert tokens[1].value == "o'brien"
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("SELECT 1 -- trailing comment\n FROM t")
+        assert any(token.is_keyword("from") for token in tokens)
+
+    def test_numbers(self):
+        tokens = tokenize("SELECT 42, 3.14")
+        assert tokens[1].value == "42"
+        assert tokens[3].value == "3.14"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT 'oops")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT @x")
+
+
+class TestParser:
+    def test_simple_select(self):
+        statement = parse_sql("SELECT a, b FROM t WHERE a = 1")
+        assert len(statement.items) == 2
+        assert statement.tables[0].relation_name == "t"
+        assert statement.where is not None
+
+    def test_aliases_and_qualified_columns(self):
+        statement = parse_sql("SELECT t1.a AS x FROM t t1, t t2 WHERE t1.a = t2.a")
+        assert statement.items[0].alias == "x"
+        assert statement.tables[1].alias == "t2"
+
+    def test_group_by_having(self):
+        statement = parse_sql(
+            "SELECT zip, COUNT(*) AS n FROM customer GROUP BY zip HAVING COUNT(*) > 1")
+        assert len(statement.group_by) == 1
+        assert statement.having is not None
+
+    def test_union(self):
+        statement = parse_sql("SELECT a FROM t UNION SELECT a FROM s")
+        assert len(statement.selects) == 2
+
+    def test_missing_from_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT a WHERE a = 1")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT a FROM t nonsense extra ,")
+
+    def test_empty_statement_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("   ")
+
+
+class TestExecutorBasics:
+    def test_select_star(self, engine):
+        result = engine.query("SELECT * FROM customer")
+        assert len(result) == 6
+        assert result.schema.arity == 6
+
+    def test_projection_and_alias(self, engine):
+        result = engine.query("SELECT city AS town FROM customer WHERE cc = '44'")
+        assert result.schema.has_attribute("town")
+        assert len(result) == 3
+
+    def test_where_and_or(self, engine):
+        result = engine.query(
+            "SELECT phn FROM customer WHERE cc = '01' AND (city = 'mh' OR city = 'nyc')")
+        assert len(result) == 3
+
+    def test_where_in_and_like(self, engine):
+        result = engine.query("SELECT phn FROM customer WHERE city IN ('edi', 'ldn')")
+        assert len(result) == 3
+        result = engine.query("SELECT phn FROM customer WHERE street LIKE 'm%'")
+        assert len(result) == 4
+
+    def test_is_null(self, engine):
+        result = engine.query("SELECT phn FROM customer WHERE street IS NULL")
+        assert len(result) == 1
+        result = engine.query("SELECT phn FROM customer WHERE street IS NOT NULL")
+        assert len(result) == 5
+
+    def test_null_comparison_is_unknown(self, engine):
+        result = engine.query("SELECT phn FROM customer WHERE street = 'ghost'")
+        assert len(result) == 0
+
+    def test_distinct(self, engine):
+        result = engine.query("SELECT DISTINCT cc FROM customer")
+        assert len(result) == 2
+
+    def test_order_by_and_limit(self, engine):
+        result = engine.query("SELECT phn FROM customer ORDER BY phn DESC LIMIT 2")
+        assert [t["phn"] for t in result] == ["5555", "4444"]
+
+    def test_scalar_helper(self, engine):
+        assert engine.scalar("SELECT COUNT(*) FROM customer") == 6
+
+    def test_arithmetic_and_functions(self, engine):
+        result = engine.query("SELECT amount * 2 AS doubled FROM orders WHERE phn = '1111'")
+        assert sorted(t["doubled"] for t in result) == [20, 40]
+        assert engine.scalar("SELECT UPPER(city) FROM customer WHERE phn = '4444'") == "MH"
+
+    def test_unknown_relation_raises(self, engine):
+        with pytest.raises(Exception):
+            engine.query("SELECT * FROM ghost")
+
+    def test_unknown_column_raises(self, engine):
+        with pytest.raises(SQLExecutionError):
+            engine.query("SELECT nothere FROM customer")
+
+
+class TestExecutorJoinsAndGroups:
+    def test_self_join_detects_pairs(self, engine):
+        # pairs of tuples agreeing on zip but differing on street: the core
+        # of CFD pair-violation detection.
+        result = engine.query(
+            "SELECT t1.phn, t2.phn FROM customer t1, customer t2 "
+            "WHERE t1.zip = t2.zip AND t1.street <> t2.street")
+        assert len(result) == 4  # two symmetric pairs
+
+    def test_explicit_join_on(self, engine):
+        result = engine.query(
+            "SELECT c.city, o.amount FROM customer c JOIN orders o ON c.phn = o.phn")
+        assert len(result) == 4
+
+    def test_join_null_keys_do_not_match(self, engine, database):
+        database.relation("orders").insert_dict({"phn": NULL, "amount": 99})
+        result = engine.query(
+            "SELECT c.city FROM customer c, orders o WHERE c.phn = o.phn")
+        assert all(not is_null(t["city"]) for t in result)
+
+    def test_group_by_count(self, engine):
+        result = engine.query(
+            "SELECT cc, COUNT(*) AS n FROM customer GROUP BY cc ORDER BY cc")
+        assert [(t["cc"], t["n"]) for t in result] == [("01", 3), ("44", 3)]
+
+    def test_group_by_having(self, engine):
+        result = engine.query(
+            "SELECT zip, COUNT(DISTINCT street) AS streets FROM customer "
+            "GROUP BY zip HAVING COUNT(DISTINCT street) > 1")
+        zips = {t["zip"] for t in result}
+        assert zips == {"EH8"}
+
+    def test_aggregates_without_group_by(self, engine):
+        result = engine.query("SELECT COUNT(*) AS n, MAX(amount) AS top FROM orders")
+        row = result.tuples()[0]
+        assert row["n"] == 4 and row["top"] == 40
+
+    def test_sum_avg_min(self, engine):
+        row = engine.query(
+            "SELECT SUM(amount) AS s, AVG(amount) AS a, MIN(amount) AS m FROM orders").tuples()[0]
+        assert row["s"] == 100 and row["a"] == 25 and row["m"] == 10
+
+    def test_union_distinct_and_all(self, engine):
+        merged = engine.query(
+            "SELECT cc FROM customer UNION SELECT cc FROM customer")
+        assert len(merged) == 2
+
+    def test_group_by_expression_key(self, engine):
+        result = engine.query(
+            "SELECT UPPER(city) AS c, COUNT(*) AS n FROM customer GROUP BY UPPER(city)")
+        counts = {t["c"]: t["n"] for t in result}
+        assert counts["EDI"] == 2
+
+    def test_empty_group_result(self, engine):
+        result = engine.query(
+            "SELECT zip, COUNT(*) AS n FROM customer WHERE cc = 'nope' GROUP BY zip")
+        assert len(result) == 0
+
+
+class TestSQLAgainstAlgebraProperty:
+    values = st.lists(st.tuples(st.sampled_from(["a", "b", "c", "d"]),
+                                st.integers(0, 9)), min_size=0, max_size=50)
+
+    @given(values)
+    def test_group_count_matches_python(self, rows):
+        db = Database()
+        schema = RelationSchema("t", [
+            Attribute("k", AttributeType.STRING), Attribute("v", AttributeType.INTEGER)])
+        db.add(Relation.from_rows(schema, rows))
+        engine = SQLEngine(db)
+        result = engine.query("SELECT k, COUNT(*) AS n FROM t GROUP BY k")
+        expected: dict[str, int] = {}
+        for key, _ in rows:
+            expected[key] = expected.get(key, 0) + 1
+        assert {(t["k"], t["n"]) for t in result} == set(expected.items())
+
+    @given(values)
+    def test_where_filter_matches_python(self, rows):
+        db = Database()
+        schema = RelationSchema("t", [
+            Attribute("k", AttributeType.STRING), Attribute("v", AttributeType.INTEGER)])
+        db.add(Relation.from_rows(schema, rows))
+        engine = SQLEngine(db)
+        result = engine.query("SELECT k, v FROM t WHERE v >= 5")
+        expected = [(k, v) for k, v in rows if v >= 5]
+        assert sorted((t["k"], t["v"]) for t in result) == sorted(expected)

@@ -1,0 +1,124 @@
+"""Tests for the repair cost model and the equivalence-class structure."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RepairError
+from repro.relational.types import NULL
+from repro.repair.cost import CostModel
+from repro.repair.eqclass import EquivalenceClasses
+
+
+class TestCostModel:
+    def test_no_change_costs_nothing(self):
+        model = CostModel()
+        assert model.change_cost(0, "city", "edi", "edi") == 0.0
+
+    def test_change_cost_uses_weight(self):
+        model = CostModel()
+        model.set_weight(0, "city", 2.0)
+        base = CostModel().change_cost(0, "city", "edi", "ldn")
+        assert model.change_cost(0, "city", "edi", "ldn") == pytest.approx(2 * base)
+
+    def test_negative_weight_rejected(self):
+        model = CostModel()
+        with pytest.raises(ValueError):
+            model.set_weight(0, "city", -1.0)
+        with pytest.raises(ValueError):
+            CostModel(default_weight=-0.1)
+
+    def test_distance_is_normalized(self):
+        model = CostModel()
+        assert 0.0 <= model.distance("edinburgh", "x") <= 1.0
+        assert model.distance(NULL, NULL) == 0.0
+        assert model.distance("a", NULL) == 1.0
+
+    def test_cheapest_target_prefers_majority(self):
+        model = CostModel()
+        cells = [(0, "city", "edi"), (1, "city", "edi"), (2, "city", "ldn")]
+        target, cost = model.cheapest_target(cells)
+        assert target == "edi"
+        assert cost == pytest.approx(model.change_cost(2, "city", "ldn", "edi"))
+
+    def test_cheapest_target_respects_weights(self):
+        model = CostModel()
+        model.set_weight(2, "city", 10.0)  # the 'ldn' cell is highly trusted
+        cells = [(0, "city", "edi"), (1, "city", "edi"), (2, "city", "ldn")]
+        target, _ = model.cheapest_target(cells)
+        assert target == "ldn"
+
+    def test_cheapest_target_with_candidates(self):
+        model = CostModel()
+        cells = [(0, "city", "edi")]
+        target, _ = model.cheapest_target(cells, candidates=["mh"])
+        assert target == "mh"
+
+    def test_cheapest_target_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().cheapest_target([])
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=20))
+    def test_cheapest_target_is_optimal(self, values):
+        model = CostModel()
+        cells = [(i, "x", v) for i, v in enumerate(values)]
+        target, cost = model.cheapest_target(cells)
+        for candidate in set(values):
+            assert cost <= model.target_cost(cells, candidate) + 1e-9
+
+
+class TestEquivalenceClasses:
+    def test_add_and_find(self):
+        classes = EquivalenceClasses()
+        root = classes.add((0, "city"))
+        assert classes.find((0, "CITY")) == root
+
+    def test_union_merges(self):
+        classes = EquivalenceClasses()
+        classes.union((0, "city"), (1, "city"))
+        assert classes.same_class((0, "city"), (1, "city"))
+        assert not classes.same_class((0, "city"), (2, "city"))
+
+    def test_union_is_transitive(self):
+        classes = EquivalenceClasses()
+        classes.union((0, "city"), (1, "city"))
+        classes.union((1, "city"), (2, "city"))
+        assert classes.same_class((0, "city"), (2, "city"))
+        assert classes.class_count() == 1
+
+    def test_pin_and_conflict(self):
+        classes = EquivalenceClasses()
+        classes.pin((0, "city"), "mh")
+        assert classes.pinned_value((0, "city")) == "mh"
+        with pytest.raises(RepairError):
+            classes.pin((0, "city"), "nyc")
+
+    def test_pin_survives_union(self):
+        classes = EquivalenceClasses()
+        classes.pin((0, "city"), "mh")
+        classes.union((0, "city"), (1, "city"))
+        assert classes.pinned_value((1, "city")) == "mh"
+
+    def test_union_of_conflicting_pins_rejected(self):
+        classes = EquivalenceClasses()
+        classes.pin((0, "city"), "mh")
+        classes.pin((1, "city"), "nyc")
+        with pytest.raises(RepairError):
+            classes.union((0, "city"), (1, "city"))
+
+    def test_members_and_classes(self):
+        classes = EquivalenceClasses()
+        classes.union((0, "city"), (1, "city"))
+        classes.add((2, "street"))
+        assert len(classes.members((0, "city"))) == 2
+        assert classes.class_count() == 2
+        assert len(classes) == 3
+
+    @given(st.lists(st.tuples(st.integers(0, 10), st.integers(0, 10)), max_size=40))
+    def test_union_find_invariant(self, pairs):
+        classes = EquivalenceClasses()
+        for a, b in pairs:
+            classes.union((a, "x"), (b, "x"))
+        # transitivity: representatives are consistent
+        for a, b in pairs:
+            assert classes.same_class((a, "x"), (b, "x"))

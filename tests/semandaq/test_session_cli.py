@@ -1,0 +1,148 @@
+"""Tests for the Semandaq session workflow and the CLI front end."""
+
+import pytest
+
+from repro.datagen.customer import CustomerGenerator
+from repro.datagen.noise import inject_noise
+from repro.detection.cfd_detect import detect_cfd_violations
+from repro.errors import ReproError
+from repro.relational.csvio import read_csv, relation_to_csv
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+from repro.semandaq.cli import main as semandaq_main
+from repro.semandaq.session import SemandaqSession
+
+CFD_BLOCK = """
+# semantics of the customer relation
+customer([cc='44', zip] -> [street])
+customer([cc='44', zip] -> [city])
+customer([cc='01', ac='908'] -> [city='mh'])
+"""
+
+ROWS = [
+    {"cc": "44", "ac": "131", "phn": "1111", "city": "edi", "zip": "EH8", "street": "mayfield"},
+    {"cc": "44", "ac": "131", "phn": "2222", "city": "edi", "zip": "EH8", "street": "mayfield"},
+    {"cc": "44", "ac": "131", "phn": "3333", "city": "ldn", "zip": "EH8", "street": "crichton"},
+    {"cc": "01", "ac": "908", "phn": "4444", "city": "nyc", "zip": "07974", "street": "mtn ave"},
+]
+
+SCHEMA = RelationSchema("customer", [
+    Attribute("cc"), Attribute("ac"), Attribute("phn"),
+    Attribute("city"), Attribute("zip"), Attribute("street"),
+])
+
+
+@pytest.fixture
+def session():
+    relation = Relation.from_dicts(SCHEMA, ROWS)
+    session = SemandaqSession(relation)
+    session.register_cfds(CFD_BLOCK)
+    return session
+
+
+class TestSemandaqSession:
+    def test_register_from_block(self, session):
+        assert len(session.cfds) == 3
+
+    def test_detect_and_report(self, session):
+        report = session.detect()
+        assert not report.is_clean()
+        text = session.report()
+        assert "violations" in text and "customer" in text
+
+    def test_consistency_check(self, session):
+        analysis = session.check_consistency()
+        assert analysis["satisfiable"] and analysis["conflicts"] == []
+
+    def test_detect_without_constraints_rejected(self):
+        relation = Relation.from_dicts(SCHEMA, ROWS)
+        with pytest.raises(ReproError):
+            SemandaqSession(relation).detect()
+
+    def test_propose_repair_does_not_modify_data(self, session):
+        before = session.database.relation("customer").to_dicts()
+        repair = session.propose_repair("customer")
+        assert repair.changes
+        assert session.database.relation("customer").to_dicts() == before
+
+    def test_apply_repair_cleans_relation(self, session):
+        session.apply_repair("customer")
+        relation = session.database.relation("customer")
+        assert detect_cfd_violations(relation, session.cfds).is_clean()
+
+    def test_confirm_cell_steers_repair(self, session):
+        # the user asserts that 'crichton' (tuple 2) is the correct street
+        session.confirm_cell(2, "street", "customer")
+        session.confirm_cell(2, "city", "customer")
+        session.apply_repair("customer")
+        relation = session.database.relation("customer")
+        assert relation.value(2, "street") == "crichton"
+        assert relation.value(0, "street") == "crichton"
+
+    def test_override_cell_locks_user_value(self, session):
+        session.override_cell(3, "city", "mh", "customer")
+        assert ("customer", 3, "city") in session.locked_cells()
+        session.apply_repair("customer")
+        assert session.database.relation("customer").value(3, "city") == "mh"
+
+    def test_resolve_relation_requires_name_when_ambiguous(self):
+        database = Database()
+        database.add(Relation.from_dicts(SCHEMA, ROWS))
+        database.add(Relation(SCHEMA.renamed_relation("backup")))
+        session = SemandaqSession(database)
+        session.register_cfds(CFD_BLOCK)
+        with pytest.raises(ReproError):
+            session.propose_repair()
+
+    def test_cind_registration(self):
+        database = Database()
+        cd = RelationSchema("cd", [Attribute("album"), Attribute("price"), Attribute("genre")])
+        book = RelationSchema("book", [Attribute("title"), Attribute("price"), Attribute("format")])
+        database.create_from_dicts(cd, [{"album": "x", "price": "9", "genre": "a-book"}])
+        database.create_from_dicts(book, [])
+        session = SemandaqSession(database)
+        session.register_cinds(
+            "cd(album, price; genre='a-book') SUBSET book(title, price; format='audio')")
+        report = session.detect()
+        assert len(report.cind_violations()) == 1
+
+    def test_end_to_end_on_generated_data(self):
+        generator = CustomerGenerator(seed=19)
+        clean = generator.generate(200)
+        dirty = inject_noise(clean, rate=0.04, attributes=["street", "city"], seed=2).dirty
+        session = SemandaqSession(dirty)
+        session.register_cfds(generator.canonical_cfds())
+        assert not session.detect().is_clean()
+        session.apply_repair("customer")
+        assert detect_cfd_violations(
+            session.database.relation("customer"), generator.canonical_cfds()).is_clean()
+
+
+class TestSemandaqCLI:
+    def _write_inputs(self, tmp_path):
+        relation = Relation.from_dicts(SCHEMA, ROWS)
+        data_path = tmp_path / "customer.csv"
+        relation_to_csv(relation, data_path)
+        constraints_path = tmp_path / "cfds.txt"
+        constraints_path.write_text(CFD_BLOCK, encoding="utf-8")
+        return data_path, constraints_path
+
+    def test_detect_only(self, tmp_path, capsys):
+        data_path, constraints_path = self._write_inputs(tmp_path)
+        exit_code = semandaq_main([str(data_path), str(constraints_path)])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "violations" in captured
+
+    def test_detect_and_repair(self, tmp_path, capsys):
+        data_path, constraints_path = self._write_inputs(tmp_path)
+        output_path = tmp_path / "repaired.csv"
+        exit_code = semandaq_main([str(data_path), str(constraints_path),
+                                   "--repair", str(output_path)])
+        assert exit_code == 0
+        assert output_path.exists()
+        repaired = read_csv(output_path, "customer")
+        session = SemandaqSession(repaired)
+        cfds = session.register_cfds(CFD_BLOCK)
+        assert detect_cfd_violations(repaired, cfds).is_clean()

@@ -1,0 +1,35 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples are part of the public deliverable; these tests execute each
+one in a subprocess (so they exercise exactly what a user would run) and
+check for a zero exit status and the expected headline output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+
+def _run(script_name: str) -> subprocess.CompletedProcess:
+    env = {"PYTHONPATH": str(SRC_DIR)}
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script_name)],
+        capture_output=True, text=True, timeout=600, env=env, check=False)
+
+
+@pytest.mark.parametrize("script, expected_fragments", [
+    ("quickstart.py", ["violations", "repaired relation", "Semandaq session"]),
+    ("customer_cleaning.py", ["repair quality", "violations remaining after repair"]),
+    ("fraud_matching.py", ["derived relative candidate keys", "derived-RCK matching"]),
+    ("discovery_profiling.py", ["minimal FDs", "constant CFDs", "injected errors"]),
+])
+def test_example_runs_cleanly(script, expected_fragments):
+    result = _run(script)
+    assert result.returncode == 0, result.stderr
+    for fragment in expected_fragments:
+        assert fragment in result.stdout, f"missing {fragment!r} in output of {script}"
