@@ -1,0 +1,86 @@
+"""E13 — columnar vs. row-at-a-time CFD detection.
+
+Companion to E1: the same noisy-customer workload, detected twice — once
+with the dictionary-encoded columnar path (the default) and once with the
+original row path (``use_columns=False``).  The series reports the
+per-size speedup and asserts the columnar path wins by a wide margin at
+the largest size; both paths must return byte-identical reports.
+
+The measured speedups land in the JSON emitted with
+``--benchmark-json`` via ``benchmark.extra_info``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.datagen.customer import CustomerGenerator
+from repro.datagen.noise import inject_noise
+from repro.detection.cfd_detect import CFDDetector
+
+from conftest import print_series
+
+SIZES = [1000, 2000, 4000, 8000]
+NOISE_RATE = 0.05
+ROUNDS = 3
+
+
+def _workload(size: int):
+    generator = CustomerGenerator(seed=101)
+    clean = generator.generate(size)
+    dirty = inject_noise(clean, rate=NOISE_RATE,
+                         attributes=["street", "city"], seed=size).dirty
+    return dirty, generator.canonical_cfds()
+
+
+def _time(callable_, rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.mark.parametrize("size", [1000, 8000])
+def test_e13_columnar_detection(benchmark, size):
+    """Columnar detection timing at the two endpoint sizes."""
+    relation, cfds = _workload(size)
+    relation.columns  # build the store once; steady-state cost is what E13 measures
+    report = benchmark(lambda: CFDDetector(relation, cfds).detect())
+    assert not report.is_clean()
+
+
+def test_e13_row_vs_columnar_series(benchmark):
+    """Print the speedup series; parity and a >=3x win at the largest size."""
+
+    def compute():
+        rows = []
+        for size in SIZES:
+            relation, cfds = _workload(size)
+
+            columnar_report = CFDDetector(relation, cfds).detect()
+            row_report = CFDDetector(relation, cfds, use_columns=False).detect()
+            assert [(v.cfd, v.pattern, v.tids) for v in columnar_report] == \
+                [(v.cfd, v.pattern, v.tids) for v in row_report]
+
+            columnar_s = _time(lambda: CFDDetector(relation, cfds).detect())
+            row_s = _time(lambda: CFDDetector(relation, cfds,
+                                              use_columns=False).detect())
+            rows.append([size, len(columnar_report), row_s, columnar_s,
+                         row_s / columnar_s])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_series(
+        "E13: row vs. columnar CFD detection (noise 5%)",
+        ["tuples", "violations", "row_s", "columnar_s", "speedup"], rows)
+
+    benchmark.extra_info["speedups"] = {str(row[0]): round(row[4], 2) for row in rows}
+    benchmark.extra_info["speedup_largest"] = round(rows[-1][4], 2)
+
+    # acceptance: the columnar path is at least 3x faster at the largest size
+    assert rows[-1][4] >= 3.0

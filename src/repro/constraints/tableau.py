@@ -181,6 +181,10 @@ def _constants_equal(left: Any, right: Any) -> bool:
     return str(left) == str(right)
 
 
+constants_equal = _constants_equal
+"""Public alias: the ``≍`` equality used between data values and constants."""
+
+
 def _lookup_ci(values: Mapping[str, Any], attribute: str) -> Any:
     for key, value in values.items():
         if key.lower() == attribute:

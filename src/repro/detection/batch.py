@@ -4,8 +4,10 @@ When several CFDs share the same embedded FD ``X → Y`` (differing only in
 their pattern tuples), Fan et al. detect them together: the pattern
 tableaux are merged and the relation is grouped on ``X`` **once**, instead
 of once per CFD.  The per-group work then checks every pattern against the
-group.  :class:`BatchCFDDetector` implements this; the naive alternative
-(one full detection pass per CFD) is available via
+group.  :class:`BatchCFDDetector` implements this on the columnar
+substrate (grouping by integer code tuples, patterns compiled to code
+tests; ``use_columns=False`` restores the row-at-a-time variant); the
+naive alternative (one full detection pass per CFD) is available via
 :meth:`BatchCFDDetector.detect_naive` so that benchmarks can compare the
 two (experiment E3).
 """
@@ -19,6 +21,7 @@ from repro.constraints.cfd import CFD, group_by_embedded_fd, merge_cfds
 from repro.constraints.tableau import PatternTuple
 from repro.constraints.violations import CFDViolation, ViolationReport
 from repro.detection.cfd_detect import CFDDetector
+from repro.detection.columnar import NULL_CODE, compile_tableau
 from repro.relational.index import HashIndex
 from repro.relational.relation import Relation
 from repro.relational.types import is_null
@@ -27,12 +30,14 @@ from repro.relational.types import is_null
 class BatchCFDDetector:
     """Detects a set of CFDs by merging tableaux per embedded FD."""
 
-    def __init__(self, relation: Relation, cfds: Sequence[CFD]) -> None:
+    def __init__(self, relation: Relation, cfds: Sequence[CFD],
+                 use_columns: bool = True) -> None:
         for cfd in cfds:
             cfd.validate_against(relation)
         self._relation = relation
         self._cfds = list(cfds)
         self._merged = merge_cfds(cfds)
+        self._use_columns = use_columns
 
     @property
     def merged_cfds(self) -> list[CFD]:
@@ -45,15 +50,42 @@ class BatchCFDDetector:
         """One grouping pass per embedded FD, all patterns checked per group."""
         report = ViolationReport(self._relation.name, tuples_checked=len(self._relation))
         for merged in self._merged:
-            report.extend(self._detect_merged(merged))
+            report.extend(self._detect_merged(merged) if self._use_columns
+                          else self._detect_merged_rows(merged))
         return report
 
     def _detect_merged(self, cfd: CFD) -> list[CFDViolation]:
+        """Columnar batch detection of one merged CFD."""
         violations: list[CFDViolation] = []
-        index = HashIndex(self._relation, list(cfd.lhs))
+        compiled = compile_tableau(cfd, self._relation)
 
         # single-tuple violations: check every tuple against every pattern
-        # with RHS constants, in one scan.
+        # with RHS constants, in one scan over the code arrays.
+        constant_patterns = [cp for cp in compiled if cp.rhs_tests]
+        if constant_patterns:
+            for tid in self._relation.tids():
+                for cp in constant_patterns:
+                    if cp.lhs_matches(tid) and not cp.rhs_constants_match(tid):
+                        violations.append(CFDViolation(cfd, cp.pattern, (tid,)))
+
+        # group violations: one pass over the code-keyed buckets.
+        variable_patterns = [cp for cp in compiled if cp.variable_rhs]
+        if variable_patterns:
+            index = HashIndex(self._relation, list(cfd.lhs))
+            for key, tids in index.bucket_items():
+                if len(tids) < 2 or NULL_CODE in key:
+                    continue
+                ordered = sorted(tids)
+                for cp in variable_patterns:
+                    matching = cp.group_matching(ordered)
+                    if matching is not None and cp.rhs_disagrees(matching):
+                        violations.append(CFDViolation(cfd, cp.pattern, tuple(matching)))
+        return violations
+
+    def _detect_merged_rows(self, cfd: CFD) -> list[CFDViolation]:
+        """Row-at-a-time batch detection (the pre-columnar baseline)."""
+        violations: list[CFDViolation] = []
+
         constant_patterns = [
             pattern for pattern in cfd.tableau
             if any(pattern.is_constant_on(a) for a in cfd.rhs)
@@ -67,13 +99,13 @@ class BatchCFDDetector:
                     if not pattern.matches(row, constant_rhs):
                         violations.append(CFDViolation(cfd, pattern, (row.tid,)))
 
-        # group violations: one pass over the groups of the shared index.
         variable_patterns = [
             pattern for pattern in cfd.tableau
             if any(not pattern.is_constant_on(a) for a in cfd.rhs)
         ]
         if variable_patterns:
-            for key, tids in index.groups():
+            index = HashIndex(self._relation, list(cfd.lhs), use_columns=False)
+            for key, tids in index.bucket_items():
                 if len(tids) < 2 or any(is_null(v) for v in key):
                     continue
                 rows = [self._relation.tuple(tid) for tid in sorted(tids)]
@@ -96,7 +128,8 @@ class BatchCFDDetector:
         """One full detection pass per original CFD (the baseline E3 compares against)."""
         report = ViolationReport(self._relation.name, tuples_checked=len(self._relation))
         for cfd in self._cfds:
-            report.extend(CFDDetector(self._relation, [cfd]).detect_one(cfd))
+            report.extend(CFDDetector(self._relation, [cfd],
+                                      use_columns=self._use_columns).detect_one(cfd))
         return report
 
     # -- comparison helper -------------------------------------------------------------

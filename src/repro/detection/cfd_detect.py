@@ -9,10 +9,18 @@ violations exist:
 * **group** violations: a set of tuples match a pattern on ``X``, agree on
   ``X`` but do not all agree on ``Y``.
 
-:class:`CFDDetector` finds both by hashing tuples on ``X``;
+:class:`CFDDetector` finds both by hashing tuples on ``X``.  By default it
+runs *columnar*: patterns are compiled to code-level tests against the
+relation's dictionary-encoded column store
+(:mod:`repro.detection.columnar`) and grouping happens over integer code
+tuples — the hot path never materialises a :class:`Tuple`.
+``use_columns=False`` selects the original row-at-a-time implementation,
+which produces identical reports (the parity tests assert this) and serves
+as the benchmark baseline.
+
 :class:`SQLCFDDetector` instead *generates SQL* — the approach of Fan et
-al.'s Semandaq system — and executes it on the library's SQL engine.  Both
-return the same :class:`~repro.constraints.violations.ViolationReport`.
+al.'s Semandaq system — and executes it on the library's SQL engine.  All
+paths return the same :class:`~repro.constraints.violations.ViolationReport`.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from typing import Any, Sequence
 from repro.constraints.cfd import CFD
 from repro.constraints.tableau import PatternTuple, is_wildcard
 from repro.constraints.violations import CFDViolation, ViolationReport
+from repro.detection.columnar import NULL_CODE, CompiledPattern, compile_tableau
 from repro.relational.database import Database
 from repro.relational.index import HashIndex
 from repro.relational.relation import Relation
@@ -34,12 +43,13 @@ class CFDDetector:
     """Direct (index-based) CFD violation detection on one relation."""
 
     def __init__(self, relation: Relation, cfds: Sequence[CFD],
-                 enumerate_pairs: bool = False) -> None:
+                 enumerate_pairs: bool = False, use_columns: bool = True) -> None:
         for cfd in cfds:
             cfd.validate_against(relation)
         self._relation = relation
         self._cfds = list(cfds)
         self._enumerate_pairs = enumerate_pairs
+        self._use_columns = use_columns
         self._indexes: dict[tuple[str, ...], HashIndex] = {}
 
     # -- public ----------------------------------------------------------------
@@ -54,12 +64,60 @@ class CFDDetector:
     def detect_one(self, cfd: CFD) -> list[CFDViolation]:
         """Violations of a single CFD."""
         violations: list[CFDViolation] = []
-        for pattern in cfd.tableau:
-            violations.extend(self._single_tuple_violations(cfd, pattern))
-            violations.extend(self._group_violations(cfd, pattern))
+        if self._use_columns:
+            for compiled in compile_tableau(cfd, self._relation):
+                violations.extend(self._single_tuple_violations_columnar(cfd, compiled))
+                violations.extend(self._group_violations_columnar(cfd, compiled))
+        else:
+            for pattern in cfd.tableau:
+                violations.extend(self._single_tuple_violations(cfd, pattern))
+                violations.extend(self._group_violations(cfd, pattern))
         return violations
 
-    # -- single-tuple violations --------------------------------------------------
+    # -- columnar path ------------------------------------------------------------
+
+    def _single_tuple_violations_columnar(self, cfd: CFD,
+                                          compiled: CompiledPattern) -> list[CFDViolation]:
+        if not compiled.rhs_tests:
+            return []
+        pattern = compiled.pattern
+        violations = []
+        for tid in self._relation.tids():
+            if compiled.lhs_matches(tid) and not compiled.rhs_constants_match(tid):
+                violations.append(CFDViolation(cfd, pattern, (tid,)))
+        return violations
+
+    def _group_violations_columnar(self, cfd: CFD,
+                                   compiled: CompiledPattern) -> list[CFDViolation]:
+        if not compiled.variable_rhs:
+            return []
+        index = self._index_for(cfd.lhs)
+        violations: list[CFDViolation] = []
+        for key, tids in index.bucket_items():
+            if len(tids) < 2 or NULL_CODE in key:
+                continue
+            matching = compiled.group_matching(tids)
+            if matching is None:
+                continue
+            by_rhs: dict[Any, list[int]] = defaultdict(list)
+            for tid in matching:
+                by_rhs[compiled.rhs_key(tid)].append(tid)
+            if len(by_rhs) <= 1:
+                continue
+            if self._enumerate_pairs:
+                buckets = list(by_rhs.values())
+                for i, bucket in enumerate(buckets):
+                    for other in buckets[i + 1:]:
+                        for tid_a in bucket:
+                            for tid_b in other:
+                                violations.append(
+                                    CFDViolation(cfd, compiled.pattern, (tid_a, tid_b)))
+            else:
+                violations.append(
+                    CFDViolation(cfd, compiled.pattern, tuple(sorted(matching))))
+        return violations
+
+    # -- row path: single-tuple violations ------------------------------------------
 
     def _single_tuple_violations(self, cfd: CFD, pattern: PatternTuple) -> list[CFDViolation]:
         constant_rhs = [a for a in cfd.rhs if pattern.is_constant_on(a)]
@@ -73,7 +131,7 @@ class CFDDetector:
                 violations.append(CFDViolation(cfd, pattern, (row.tid,)))
         return violations
 
-    # -- group violations ----------------------------------------------------------
+    # -- row path: group violations --------------------------------------------------
 
     def _group_violations(self, cfd: CFD, pattern: PatternTuple) -> list[CFDViolation]:
         variable_rhs = [a for a in cfd.rhs if not pattern.is_constant_on(a)]
@@ -81,7 +139,7 @@ class CFDDetector:
             return []
         index = self._index_for(cfd.lhs)
         violations: list[CFDViolation] = []
-        for key, tids in index.groups():
+        for key, tids in index.bucket_items():
             if len(tids) < 2:
                 continue
             if any(is_null(value) for value in key):
@@ -108,14 +166,17 @@ class CFDDetector:
 
     def _index_for(self, attributes: tuple[str, ...]) -> HashIndex:
         if attributes not in self._indexes or self._indexes[attributes].is_stale():
-            self._indexes[attributes] = HashIndex(self._relation, list(attributes))
+            self._indexes[attributes] = HashIndex(self._relation, list(attributes),
+                                                  use_columns=self._use_columns)
         return self._indexes[attributes]
 
 
 def detect_cfd_violations(relation: Relation, cfds: Sequence[CFD],
-                          enumerate_pairs: bool = False) -> ViolationReport:
+                          enumerate_pairs: bool = False,
+                          use_columns: bool = True) -> ViolationReport:
     """Convenience wrapper around :class:`CFDDetector`."""
-    return CFDDetector(relation, cfds, enumerate_pairs=enumerate_pairs).detect()
+    return CFDDetector(relation, cfds, enumerate_pairs=enumerate_pairs,
+                       use_columns=use_columns).detect()
 
 
 class SQLCFDDetector:

@@ -7,24 +7,25 @@ violation can only appear or disappear inside the *group* of tuples that
 agree on the embedded FD's LHS with an inserted or deleted tuple, so only
 those groups need re-checking.
 
-:class:`IncrementalCFDDetector` keeps, per embedded FD, a hash index on
-the LHS and a map ``group key → violations``; :meth:`insert_tuple` and
-:meth:`delete_tuple` update only the affected group and return the
-violation delta.  The global report is always available via
-:meth:`current_report` and is kept equal to what full re-detection would
-produce (verified by tests and by experiment E4).
+:class:`IncrementalCFDDetector` keeps, per embedded FD, a columnar hash
+index on the LHS and a map ``group key → violations`` where the key is the
+index's *encoded* (dictionary-code) key; pattern tableaux are compiled to
+code-level tests once at construction and stay valid as the column store
+grows.  :meth:`insert_tuple` and :meth:`delete_tuple` update only the
+affected group and return the violation delta.  The global report is
+always available via :meth:`current_report` and is kept equal to what full
+re-detection would produce (verified by tests and by experiment E4).
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Any, Mapping, Sequence
 
 from repro.constraints.cfd import CFD, merge_cfds
 from repro.constraints.violations import CFDViolation, ViolationReport
+from repro.detection.columnar import NULL_CODE, CompiledPattern, compile_tableau
 from repro.relational.index import HashIndex
 from repro.relational.relation import Relation
-from repro.relational.types import is_null
 
 
 class IncrementalCFDDetector:
@@ -36,7 +37,8 @@ class IncrementalCFDDetector:
         self._relation = relation
         self._merged = merge_cfds(cfds)
         self._indexes: dict[int, HashIndex] = {}
-        # per merged CFD: group key -> list of violations found in that group
+        self._compiled: dict[int, list[CompiledPattern]] = {}
+        # per merged CFD: encoded group key -> list of violations in that group
         self._group_violations: dict[int, dict[tuple[Any, ...], list[CFDViolation]]] = {}
         # single-tuple violations per merged CFD, keyed by tid
         self._single_violations: dict[int, dict[int, list[CFDViolation]]] = {}
@@ -48,46 +50,43 @@ class IncrementalCFDDetector:
         for position, cfd in enumerate(self._merged):
             index = HashIndex(self._relation, list(cfd.lhs))
             self._indexes[position] = index
+            self._compiled[position] = compile_tableau(cfd, self._relation)
             group_map: dict[tuple[Any, ...], list[CFDViolation]] = {}
-            for key, tids in index.groups():
-                found = self._check_group(cfd, key, tids)
+            for key, tids in index.bucket_items():
+                found = self._check_group(position, cfd, key, tids)
                 if found:
                     group_map[key] = found
             self._group_violations[position] = group_map
-            singles: dict[int, list[CFDViolation]] = defaultdict(list)
-            for row in self._relation:
-                for violation in self._check_single(cfd, row):
-                    singles[row.tid].append(violation)
-            self._single_violations[position] = dict(singles)
+            singles: dict[int, list[CFDViolation]] = {}
+            for tid in self._relation.tids():
+                found_singles = self._check_single(position, cfd, tid)
+                if found_singles:
+                    singles[tid] = found_singles
+            self._single_violations[position] = singles
 
     # -- checking helpers -----------------------------------------------------------
 
-    def _check_single(self, cfd: CFD, row) -> list[CFDViolation]:
+    def _check_single(self, position: int, cfd: CFD, tid: int) -> list[CFDViolation]:
         violations = []
-        for pattern in cfd.tableau:
-            constant_rhs = [a for a in cfd.rhs if pattern.is_constant_on(a)]
-            if not constant_rhs:
+        for compiled in self._compiled[position]:
+            if not compiled.rhs_tests:
                 continue
-            if pattern.matches(row, cfd.lhs) and not pattern.matches(row, constant_rhs):
-                violations.append(CFDViolation(cfd, pattern, (row.tid,)))
+            if compiled.lhs_matches(tid) and not compiled.rhs_constants_match(tid):
+                violations.append(CFDViolation(cfd, compiled.pattern, (tid,)))
         return violations
 
-    def _check_group(self, cfd: CFD, key: tuple[Any, ...], tids: set[int]) -> list[CFDViolation]:
-        if len(tids) < 2 or any(is_null(v) for v in key):
+    def _check_group(self, position: int, cfd: CFD, key: tuple[Any, ...],
+                     tids: set[int] | frozenset[int]) -> list[CFDViolation]:
+        if len(tids) < 2 or NULL_CODE in key:
             return []
-        rows = [self._relation.tuple(tid) for tid in sorted(tids)]
+        ordered = sorted(tids)
         violations = []
-        for pattern in cfd.tableau:
-            variable_rhs = [a for a in cfd.rhs if not pattern.is_constant_on(a)]
-            if not variable_rhs:
+        for compiled in self._compiled[position]:
+            if not compiled.variable_rhs:
                 continue
-            matching = [row for row in rows if pattern.matches(row, cfd.lhs)]
-            if len(matching) < 2:
-                continue
-            distinct = {row.project(variable_rhs) for row in matching}
-            if len(distinct) > 1:
-                violations.append(
-                    CFDViolation(cfd, pattern, tuple(sorted(row.tid for row in matching))))
+            matching = compiled.group_matching(ordered)
+            if matching is not None and compiled.rhs_disagrees(matching):
+                violations.append(CFDViolation(cfd, compiled.pattern, tuple(matching)))
         return violations
 
     # -- updates ------------------------------------------------------------------------
@@ -106,14 +105,13 @@ class IncrementalCFDDetector:
         new_violations: list[CFDViolation] = []
         for position, cfd in enumerate(self._merged):
             index = self._indexes[position]
-            index.add_tuple(row)
-            singles = self._check_single(cfd, row)
+            key = index.add_tuple(row)
+            singles = self._check_single(position, cfd, tid)
             if singles:
                 self._single_violations[position][tid] = singles
                 new_violations.extend(singles)
-            key = index.key_of(row)
             previous = self._group_violations[position].get(key, [])
-            current = self._check_group(cfd, key, index.lookup(key))
+            current = self._check_group(position, cfd, key, index.bucket_view(key))
             if current:
                 self._group_violations[position][key] = current
             else:
@@ -127,13 +125,13 @@ class IncrementalCFDDetector:
         removed: list[CFDViolation] = []
         for position, cfd in enumerate(self._merged):
             index = self._indexes[position]
-            key = index.key_of(row)
-            index.remove_tuple(row)
+            key = index.remove_tuple(row)
             gone_singles = self._single_violations[position].pop(tid, [])
             removed.extend(gone_singles)
             previous = self._group_violations[position].get(key, [])
-            remaining_tids = index.lookup(key)
-            current = self._check_group(cfd, key, remaining_tids) if remaining_tids else []
+            remaining_tids = index.bucket_view(key)
+            current = self._check_group(position, cfd, key, remaining_tids) \
+                if remaining_tids else []
             if current:
                 self._group_violations[position][key] = current
             else:
@@ -143,25 +141,26 @@ class IncrementalCFDDetector:
         return removed
 
     def update_cell(self, tid: int, attribute: str, value: Any) -> list[CFDViolation]:
-        """Update one cell; implemented as delete + re-insert of the tuple's groups."""
+        """Update one cell; re-checks the tuple's old and new groups."""
         row = self._relation.tuple(tid)
+        old_keys: dict[int, tuple[Any, ...]] = {}
         for position in range(len(self._merged)):
-            self._indexes[position].remove_tuple(row)
+            old_keys[position] = self._indexes[position].remove_tuple(row)
         self._relation.update(tid, attribute, value)
         refreshed = self._relation.tuple(tid)
         changed: list[CFDViolation] = []
         for position, cfd in enumerate(self._merged):
             index = self._indexes[position]
-            index.add_tuple(refreshed)
+            new_key = index.add_tuple(refreshed)
             # re-check the old and new groups plus the tuple's single violations
             self._single_violations[position].pop(tid, None)
-            singles = self._check_single(cfd, refreshed)
+            singles = self._check_single(position, cfd, tid)
             if singles:
                 self._single_violations[position][tid] = singles
                 changed.extend(singles)
-            for key in {index.key_of(row), index.key_of(refreshed)}:
-                tids = index.lookup(key)
-                current = self._check_group(cfd, key, tids) if tids else []
+            for key in {old_keys[position], new_key}:
+                tids = index.bucket_view(key)
+                current = self._check_group(position, cfd, key, tids) if tids else []
                 if current:
                     self._group_violations[position][key] = current
                     changed.extend(current)

@@ -22,7 +22,6 @@ the tutorial mentions (§2):
 from __future__ import annotations
 
 import itertools
-from collections import defaultdict
 from typing import Sequence
 
 from repro.constraints.cfd import CFD
@@ -31,9 +30,9 @@ from repro.discovery.fd_discovery import FDDiscovery
 from repro.discovery.itemsets import ItemsetMiner
 from repro.discovery.partitions import partition_of
 from repro.errors import DiscoveryError
+from repro.relational.columns import NULL_CODE
 from repro.relational.index import HashIndex
 from repro.relational.relation import Relation
-from repro.relational.types import is_null
 
 
 class CFDDiscovery:
@@ -118,23 +117,32 @@ class CFDDiscovery:
         lhs_list = sorted(lhs)
         for conditioning in lhs_list:
             index = HashIndex(self._relation, [conditioning])
-            for (value,), tids in index.groups():
-                if is_null(value) or len(tids) < self._min_support:
+            column = self._relation.columns.column(conditioning)
+            for key, tids in index.bucket_items():
+                code = key[0]
+                if code == NULL_CODE or len(tids) < self._min_support:
                     continue
                 if self._holds_on_subset(lhs_list, rhs, tids):
                     refined.append(CFD(
                         self._relation.name, lhs_list, [rhs],
-                        [PatternTuple({conditioning: value})],
+                        [PatternTuple({conditioning: column.values[code]})],
                         name=f"cond_{offset + len(refined)}"))
         return refined
 
-    def _holds_on_subset(self, lhs: Sequence[str], rhs: str, tids: set[int]) -> bool:
-        groups: dict[tuple, set[str]] = defaultdict(set)
+    def _holds_on_subset(self, lhs: Sequence[str], rhs: str,
+                         tids: set[int] | frozenset[int]) -> bool:
+        store = self._relation.columns
+        positions = self._relation.schema.positions(lhs)
+        arrays = store.code_arrays(positions)
+        rhs_codes = store.column(rhs).codes
+        seen: dict[tuple[int, ...], int] = {}
         for tid in tids:
-            row = self._relation.tuple(tid)
-            key = tuple(str(row[a]) for a in lhs)
-            groups[key].add(str(row[rhs]))
-        return all(len(values) == 1 for values in groups.values())
+            key = tuple(codes[tid] for codes in arrays)
+            rhs_code = rhs_codes[tid]
+            previous = seen.setdefault(key, rhs_code)
+            if previous != rhs_code:
+                return False
+        return True
 
 
 def discover_constant_cfds(relation: Relation, min_support: int = 3,

@@ -11,6 +11,11 @@ by their ``X`` values; the *stripped* partition drops singleton groups
 * the partition of ``X ∪ Y`` is the product of the partitions of ``X`` and
   ``Y``, so partitions for larger attribute sets are computed
   incrementally level by level.
+
+:func:`partition_of` groups tuple ids by dictionary codes from the
+relation's column store — a single pass of integer array reads, with no
+value hashing or stringification.  Single-attribute partitions (the base
+of every levelwise search) group by one bare integer.
 """
 
 from __future__ import annotations
@@ -67,10 +72,15 @@ class Partition:
 
 
 def partition_of(relation: Relation, attributes: Sequence[str]) -> Partition:
-    """The stripped partition of *relation* by *attributes*."""
+    """The stripped partition of *relation* by *attributes* (code-level grouping)."""
     positions = relation.schema.positions(attributes)
-    buckets: dict[tuple, set[int]] = defaultdict(set)
-    for row in relation:
-        key = tuple(str(row.at(p)) for p in positions)
-        buckets[key].add(row.tid)
+    arrays = relation.columns.code_arrays(positions)
+    buckets: dict[int | tuple[int, ...], list[int]] = defaultdict(list)
+    if len(arrays) == 1:
+        codes = arrays[0]
+        for tid in relation.tids():
+            buckets[codes[tid]].append(tid)
+    else:
+        for tid in relation.tids():
+            buckets[tuple(codes[tid] for codes in arrays)].append(tid)
     return Partition((frozenset(b) for b in buckets.values()), len(relation))

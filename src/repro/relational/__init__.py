@@ -5,7 +5,10 @@ fully self-contained relational engine providing
 
 * typed schemas and relations with stable tuple identifiers
   (:mod:`repro.relational.schema`, :mod:`repro.relational.relation`),
-* hash indexes (:mod:`repro.relational.index`),
+* dictionary-encoded columnar storage maintained alongside the row store
+  (:mod:`repro.relational.columns`) — the substrate of the detection,
+  discovery and statistics hot paths,
+* hash indexes over column codes (:mod:`repro.relational.index`),
 * a relational-algebra layer (:mod:`repro.relational.algebra`),
 * CSV import/export (:mod:`repro.relational.csvio`), and
 * a small SQL dialect — enough to run the CFD/CIND violation-detection
@@ -25,6 +28,7 @@ from repro.relational.types import (
     value_repr,
 )
 from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.columns import Column, ColumnStore, NULL_CODE, TOMBSTONE
 from repro.relational.relation import Relation, Tuple
 from repro.relational.database import Database
 from repro.relational.index import HashIndex
@@ -33,11 +37,15 @@ from repro.relational.sql.engine import SQLEngine
 
 __all__ = [
     "NULL",
+    "NULL_CODE",
+    "TOMBSTONE",
     "AttributeType",
     "Attribute",
     "RelationSchema",
     "Relation",
     "Tuple",
+    "Column",
+    "ColumnStore",
     "Database",
     "HashIndex",
     "SQLEngine",

@@ -1,0 +1,305 @@
+"""Dictionary-encoded columnar storage attached to a :class:`Relation`.
+
+A :class:`ColumnStore` keeps, for every attribute of a relation, a
+:class:`Column`: an array of small integer *codes* indexed by tuple id plus
+a *dictionary* mapping codes back to values.  Equal values (under Python
+``==``) share a code, NULL is always code :data:`NULL_CODE` (0) in every
+column, and deleted tuple ids keep the tombstone code ``-1``.
+
+The store is the substrate of the hot paths: hash indexes group tuples by
+tuples of integer codes instead of raw values, CFD pattern matching becomes
+integer set membership (constants are pre-encoded once per pattern via
+:meth:`Column.matcher`), stripped partitions for TANE-style discovery fall
+out of a single pass over a code array, and per-column statistics
+(distinct count, null count, most common value) are read off the live
+occurrence counts the store maintains per code.
+
+Maintenance mirrors :class:`~repro.relational.index.HashIndex`: the store
+records the relation ``version`` it is synchronised with.  Mutations made
+through the :class:`Relation` API notify the store (``on_insert`` /
+``on_delete`` / ``on_update``) so it stays fresh in O(arity) per change;
+any mutation the hooks cannot track (e.g. ``Relation.clear``) simply
+leaves the store stale and the next access through ``Relation.columns``
+rebuilds it.  Code arrays, dictionaries and matcher sets are mutated *in
+place* on rebuild, so compiled detection plans holding references to them
+survive rebuilds.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Hashable, Sequence
+
+from repro.relational.types import is_null
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.relational.relation import Relation
+
+NULL_CODE = 0
+"""The code every column assigns to NULL (dictionary slot 0)."""
+
+TOMBSTONE = -1
+"""The code marking a deleted (or never-live) tuple id in a code array."""
+
+
+class ConstantMatcher:
+    """The live set of codes of one column matching one pattern constant.
+
+    Detection pre-encodes each pattern constant into the set of dictionary
+    codes it matches, turning per-tuple constant tests into integer set
+    membership.  The set is *live*: when the column dictionary grows (a new
+    distinct value is interned), the column re-evaluates the matcher's
+    predicate and extends ``codes`` in place, so long-lived compiled plans
+    (e.g. inside :class:`~repro.detection.incremental.IncrementalCFDDetector`)
+    stay correct as new values arrive.
+    """
+
+    __slots__ = ("predicate", "codes")
+
+    def __init__(self, predicate: Callable[[Any], bool]) -> None:
+        self.predicate = predicate
+        self.codes: set[int] = set()
+
+
+class Column:
+    """One dictionary-encoded attribute of a relation.
+
+    * ``codes[tid]`` is the code of the value of this attribute in tuple
+      ``tid`` (``TOMBSTONE`` when the tuple is deleted or never existed);
+    * ``values[code]`` is the decoded value (``values[0]`` is NULL);
+    * ``counts[code]`` is the number of *live* tuples carrying that code.
+
+    The dictionary only ever grows; codes are never reassigned while the
+    column object lives (a full rebuild re-interns values but keeps the
+    ``codes``/``values``/``counts`` list objects and matcher sets, mutating
+    them in place).
+    """
+
+    __slots__ = ("attribute", "codes", "values", "counts",
+                 "_code_by_value", "_matchers", "_strings")
+
+    def __init__(self, attribute: str) -> None:
+        from repro.relational.types import NULL
+
+        self.attribute = attribute
+        self.codes: list[int] = []
+        self.values: list[Any] = [NULL]
+        self.counts: list[int] = [0]
+        self._code_by_value: dict[Any, int] = {NULL: NULL_CODE}
+        self._matchers: dict[Hashable, ConstantMatcher] = {}
+        self._strings: list[str] | None = None
+
+    # -- encoding ---------------------------------------------------------
+
+    def intern(self, value: Any) -> int:
+        """The code of *value*, adding it to the dictionary if unseen."""
+        if is_null(value):
+            return NULL_CODE
+        code = self._code_by_value.get(value)
+        if code is None:
+            code = len(self.values)
+            self.values.append(value)
+            self.counts.append(0)
+            self._code_by_value[value] = code
+            if self._strings is not None:
+                self._strings.append(str(value))
+            for matcher in self._matchers.values():
+                if matcher.predicate(value):
+                    matcher.codes.add(code)
+        return code
+
+    def code_of(self, value: Any) -> int | None:
+        """The code of *value*, or ``None`` when the value was never seen."""
+        if is_null(value):
+            return NULL_CODE
+        return self._code_by_value.get(value)
+
+    def value_of(self, code: int) -> Any:
+        """The value a code decodes to."""
+        return self.values[code]
+
+    @property
+    def strings(self) -> list[str]:
+        """``str(value)`` per code (lazily built, then maintained on intern).
+
+        Used by CIND detection, which compares correspondence keys across
+        relations by string equality: computing ``str`` once per distinct
+        value instead of once per tuple.
+        """
+        if self._strings is None:
+            self._strings = [str(v) for v in self.values]
+        return self._strings
+
+    # -- constant matchers ------------------------------------------------
+
+    def matcher(self, key: Hashable, predicate: Callable[[Any], bool]) -> ConstantMatcher:
+        """The live code set of the non-NULL dictionary values satisfying *predicate*.
+
+        Matchers are deduplicated by *key* (one scan of the dictionary per
+        distinct constant, then maintained incrementally as values are
+        interned).  The predicate is never shown NULL.
+        """
+        matcher = self._matchers.get(key)
+        if matcher is None:
+            matcher = ConstantMatcher(predicate)
+            for code, value in enumerate(self.values):
+                if code != NULL_CODE and predicate(value):
+                    matcher.codes.add(code)
+            self._matchers[key] = matcher
+        return matcher
+
+    # -- statistics -------------------------------------------------------
+
+    def null_count(self) -> int:
+        """Number of live NULLs."""
+        return self.counts[NULL_CODE]
+
+    def distinct_count(self) -> int:
+        """Number of distinct non-NULL values among live tuples."""
+        return sum(1 for count in self.counts[1:] if count > 0)
+
+    def most_common(self) -> tuple[Any, int]:
+        """The most frequent live non-NULL value and its count.
+
+        Ties break towards the value interned earliest (the smallest
+        code).  That rule is deterministic and stable under incremental
+        maintenance, but after deletes it can differ from a fresh scan's
+        first-*live*-occurrence order (codes remember the first time a
+        value was ever seen, not the earliest live row carrying it).
+        Returns ``(None, 0)`` on an all-NULL (or empty) column.
+        """
+        best_code, best_count = -1, 0
+        for code in range(1, len(self.counts)):
+            if self.counts[code] > best_count:
+                best_code, best_count = code, self.counts[code]
+        if best_code < 0:
+            return None, 0
+        return self.values[best_code], best_count
+
+    # -- maintenance ------------------------------------------------------
+
+    def _reset(self) -> None:
+        """Forget all codes and counts in place; registered matchers survive."""
+        from repro.relational.types import NULL
+
+        self.codes.clear()
+        del self.values[1:]
+        del self.counts[1:]
+        self.counts[0] = 0
+        self._code_by_value = {NULL: NULL_CODE}
+        self._strings = None
+        for matcher in self._matchers.values():
+            matcher.codes.clear()
+
+    def __repr__(self) -> str:
+        return (f"Column({self.attribute!r}, {len(self.values) - 1} distinct values, "
+                f"{len(self.codes)} slots)")
+
+
+class ColumnStore:
+    """Dictionary-encoded columns of one relation, versioned like an index."""
+
+    def __init__(self, relation: "Relation") -> None:
+        self._relation = relation
+        self._columns = [Column(attr.name.lower()) for attr in relation.schema.attributes]
+        self._by_name = {column.attribute: column for column in self._columns}
+        self._synced_version = -1
+        self.rebuild()
+
+    # -- access -----------------------------------------------------------
+
+    @property
+    def relation(self) -> "Relation":
+        return self._relation
+
+    def column(self, attribute_name: str) -> Column:
+        """The column of *attribute_name* (case-insensitive)."""
+        column = self._by_name.get(attribute_name.lower())
+        if column is None:
+            # raises the canonical SchemaError for unknown attributes
+            self._relation.schema.position(attribute_name)
+            raise AssertionError("unreachable")  # pragma: no cover
+        return column
+
+    def column_at(self, position: int) -> Column:
+        """The column at schema *position*."""
+        return self._columns[position]
+
+    def columns(self) -> list[Column]:
+        """All columns in schema order."""
+        return list(self._columns)
+
+    def code_arrays(self, positions: Sequence[int]) -> list[list[int]]:
+        """The code arrays of the given schema positions (shared, read-only)."""
+        return [self._columns[p].codes for p in positions]
+
+    def key_codes(self, tid: int, positions: Sequence[int]) -> tuple[int, ...]:
+        """The code tuple of one tuple id over the given positions."""
+        return tuple(self._columns[p].codes[tid] for p in positions)
+
+    # -- maintenance ------------------------------------------------------
+
+    def is_stale(self) -> bool:
+        """Whether the relation changed in a way the hooks did not track."""
+        return self._synced_version != self._relation.version
+
+    def rebuild(self) -> None:
+        """Re-encode the whole relation (in place: array identities survive)."""
+        rows = self._relation.rows_items()
+        bound = self._relation.tid_bound
+        for position, column in enumerate(self._columns):
+            column._reset()
+            codes = [TOMBSTONE] * bound
+            counts = column.counts
+            intern = column.intern
+            for tid, values in rows:
+                code = intern(values[position])
+                codes[tid] = code
+                counts[code] += 1
+            column.codes[:] = codes
+        self._synced_version = self._relation.version
+
+    def _in_sync_before_mutation(self) -> bool:
+        # A hook fires right after the relation bumped its version; the
+        # store can apply the delta only if it was fresh just before.
+        return self._synced_version == self._relation.version - 1
+
+    def on_insert(self, tid: int, values: Sequence[Any]) -> None:
+        """Hook: *values* (already coerced) were inserted as tuple *tid*."""
+        if not self._in_sync_before_mutation():
+            return
+        for column, value in zip(self._columns, values):
+            codes = column.codes
+            while len(codes) < tid:
+                codes.append(TOMBSTONE)
+            code = column.intern(value)
+            codes.append(code)
+            column.counts[code] += 1
+        self._synced_version = self._relation.version
+
+    def on_delete(self, tid: int) -> None:
+        """Hook: tuple *tid* was deleted."""
+        if not self._in_sync_before_mutation():
+            return
+        for column in self._columns:
+            code = column.codes[tid]
+            if code != TOMBSTONE:
+                column.counts[code] -= 1
+            column.codes[tid] = TOMBSTONE
+        self._synced_version = self._relation.version
+
+    def on_update(self, tid: int, position: int, value: Any) -> None:
+        """Hook: cell ``(tid, position)`` now holds *value* (already coerced)."""
+        if not self._in_sync_before_mutation():
+            return
+        column = self._columns[position]
+        old = column.codes[tid]
+        if old != TOMBSTONE:
+            column.counts[old] -= 1
+        code = column.intern(value)
+        column.codes[tid] = code
+        column.counts[code] += 1
+        self._synced_version = self._relation.version
+
+    def __repr__(self) -> str:
+        return (f"ColumnStore({self._relation.name}, {len(self._columns)} columns, "
+                f"{'stale' if self.is_stale() else 'fresh'})")

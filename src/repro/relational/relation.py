@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import RelationError, SchemaError
+from repro.relational.columns import ColumnStore
 from repro.relational.schema import Attribute, RelationSchema
 from repro.relational.types import NULL, coerce_value, is_null, sort_key, value_repr
 
@@ -96,6 +97,7 @@ class Relation:
         self._rows: dict[int, list[Any]] = {}
         self._next_tid = 0
         self._version = 0
+        self._column_store: ColumnStore | None = None
 
     # -- construction ----------------------------------------------------
 
@@ -129,6 +131,35 @@ class Relation:
     def version(self) -> int:
         """Monotonic counter bumped on every mutation (used by indexes/caches)."""
         return self._version
+
+    @property
+    def tid_bound(self) -> int:
+        """Exclusive upper bound on tuple ids ever assigned (tids are never reused)."""
+        return self._next_tid
+
+    @property
+    def columns(self) -> ColumnStore:
+        """The dictionary-encoded column store of this relation.
+
+        Built lazily on first access, then maintained incrementally by the
+        mutation methods; rebuilt transparently when a change the hooks
+        could not track left it stale.
+        """
+        store = self._column_store
+        if store is None:
+            store = ColumnStore(self)
+            self._column_store = store
+        elif store.is_stale():
+            store.rebuild()
+        return store
+
+    def rows_items(self) -> list[tuple[int, list[Any]]]:
+        """``(tid, values)`` pairs in insertion order.
+
+        The value lists are the live storage — fast-path callers (the
+        column store) must not mutate them.
+        """
+        return list(self._rows.items())
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -183,6 +214,8 @@ class Relation:
         self._next_tid += 1
         self._rows[tid] = values
         self._version += 1
+        if self._column_store is not None:
+            self._column_store.on_insert(tid, values)
         return tid
 
     def insert_dict(self, row: Mapping[str, Any]) -> int:
@@ -209,6 +242,8 @@ class Relation:
             raise RelationError(f"relation {self.name!r} has no tuple with tid {tid}")
         del self._rows[tid]
         self._version += 1
+        if self._column_store is not None:
+            self._column_store.on_delete(tid)
 
     def update(self, tid: int, attribute_name: str, value: Any) -> Any:
         """Set cell ``(tid, attribute_name)`` to *value*; returns the old value."""
@@ -217,8 +252,11 @@ class Relation:
         position = self._schema.position(attribute_name)
         attr = self._schema.attributes[position]
         old = self._rows[tid][position]
-        self._rows[tid][position] = coerce_value(value, attr.type)
+        coerced = coerce_value(value, attr.type)
+        self._rows[tid][position] = coerced
         self._version += 1
+        if self._column_store is not None:
+            self._column_store.on_update(tid, position, coerced)
         return old
 
     def update_dict(self, tid: int, changes: Mapping[str, Any]) -> dict[str, Any]:

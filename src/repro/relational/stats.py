@@ -1,4 +1,10 @@
-"""Simple per-relation statistics used by reports and the discovery module."""
+"""Simple per-relation statistics used by reports and the discovery module.
+
+Statistics are read off the relation's dictionary-encoded column store:
+the store maintains live occurrence counts per code, so null counts,
+distinct counts and the most common value fall out of one pass over each
+column's (small) dictionary instead of a scan over all tuples.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +12,6 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.relational.relation import Relation
-from repro.relational.types import is_null
 
 
 @dataclass
@@ -42,23 +47,18 @@ class RelationStats:
 
 
 def collect_stats(relation: Relation) -> RelationStats:
-    """Compute :class:`RelationStats` for *relation* in one pass per column."""
+    """Compute :class:`RelationStats` for *relation* from its column store."""
     stats = RelationStats(relation.name, len(relation))
+    store = relation.columns
+    total = len(relation)
     for attribute in relation.schema.attribute_names:
-        values = relation.column(attribute)
-        non_null = [v for v in values if not is_null(v)]
-        counts: dict[Any, int] = {}
-        for value in non_null:
-            counts[value] = counts.get(value, 0) + 1
-        most_common, most_common_count = None, 0
-        if counts:
-            most_common = max(counts, key=counts.get)
-            most_common_count = counts[most_common]
+        column = store.column(attribute)
+        most_common, most_common_count = column.most_common()
         stats.columns[attribute.lower()] = ColumnStats(
             attribute=attribute,
-            total=len(values),
-            nulls=len(values) - len(non_null),
-            distinct=len(counts),
+            total=total,
+            nulls=column.null_count(),
+            distinct=column.distinct_count(),
             most_common=most_common,
             most_common_count=most_common_count,
         )

@@ -29,6 +29,7 @@ from typing import Any, Iterable, Sequence
 from repro.constraints.cfd import CFD, merge_cfds
 from repro.detection.batch import BatchCFDDetector
 from repro.errors import RepairError
+from repro.relational.columns import NULL_CODE
 from repro.relational.index import HashIndex
 from repro.relational.relation import Relation
 from repro.relational.types import is_null
@@ -99,9 +100,9 @@ class IncRepair:
                     continue
 
                 key = index.key_of(row)
-                if any(is_null(v) for v in key):
+                if any(code == NULL_CODE for code in key):
                     continue
-                group = index.lookup(key)
+                group = index.bucket_view(key)
                 base_tids = sorted(t for t in group if t not in delta_set)
                 if base_tids:
                     # the base is clean: adopt its RHS values
