@@ -1,0 +1,132 @@
+"""E14 — chunked/parallel detection vs. the sequential columnar baseline.
+
+Companion to E13: the same noisy-customer workload, detected with the
+sequential columnar path (the PR 1 baseline) and with the chunked engine
+on the multiprocessing backend in steady state (one detector, worker
+pool warm, state broadcast once — the serving configuration the
+ROADMAP's north star describes).
+
+Two sequential timings are reported so the comparison is not confounded
+by plan caching: ``cold`` constructs a fresh detector per run (exactly
+how E13 records the PR 1 columnar baseline — index rebuilt every time)
+and ``warm`` reuses one detector (cached indexes).  The acceptance
+assertion compares warm-parallel against the E13-convention cold
+baseline; both ratios land in the benchmark JSON via
+``benchmark.extra_info``.
+
+Every configuration must return **byte-identical** reports; that part is
+asserted unconditionally (and is what the CI smoke job runs).  The
+≥ 1.5x speedup assertion at the largest E1 size only applies on a
+multi-core runner (≥ 4 CPUs) — on fewer cores the numbers are recorded
+but cannot meaningfully beat Amdahl.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.datagen.customer import CustomerGenerator
+from repro.datagen.noise import inject_noise
+from repro.detection.cfd_detect import CFDDetector
+
+from conftest import print_series
+
+SIZES = [1000, 2000, 4000, 8000]
+NOISE_RATE = 0.05
+ROUNDS = 5
+SPEEDUP_TARGET = 1.5
+MIN_CPUS_FOR_TARGET = 4
+
+
+def _workload(size: int):
+    generator = CustomerGenerator(seed=101)
+    clean = generator.generate(size)
+    dirty = inject_noise(clean, rate=NOISE_RATE,
+                         attributes=["street", "city"], seed=size).dirty
+    return dirty, generator.canonical_cfds()
+
+
+def _time(callable_, rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _fingerprint(report):
+    return [(v.cfd, v.pattern, v.tids) for v in report]
+
+
+def test_e14_parity(benchmark):
+    """Chunked serial and parallel reports are byte-identical to sequential."""
+    relation, cfds = _workload(1000)
+
+    def compute():
+        sequential = CFDDetector(relation, cfds, engine="sequential").detect()
+        serial = CFDDetector(relation, cfds, engine="serial").detect()
+        parallel = CFDDetector(relation, cfds, engine="parallel", workers=2).detect()
+        assert _fingerprint(serial) == _fingerprint(sequential)
+        assert _fingerprint(parallel) == _fingerprint(sequential)
+        return sequential
+
+    report = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert not report.is_clean()
+
+
+def test_e14_parallel_speedup(benchmark, monkeypatch):
+    """Sequential vs. parallel series; ≥ 1.5x at the largest size on ≥ 4 cores."""
+    # measure the true multiprocessing path at every size in the series
+    monkeypatch.setenv("REPRO_PARALLEL_THRESHOLD", "0")
+    workers = os.cpu_count() or 1
+
+    def compute():
+        rows = []
+        for size in SIZES:
+            relation, cfds = _workload(size)
+
+            # baselines pin engine="sequential" so an inherited REPRO_ENGINE
+            # cannot silently turn the comparison into parallel-vs-parallel
+            sequential_report = CFDDetector(relation, cfds,
+                                            engine="sequential").detect()
+            warm_detector = CFDDetector(relation, cfds, engine="sequential")
+            warm_detector.detect()  # warm-up: indexes built and cached
+            parallel_detector = CFDDetector(relation, cfds,
+                                            engine="parallel", workers=workers)
+            parallel_report = parallel_detector.detect()  # warm-up + broadcast
+            assert _fingerprint(parallel_report) == _fingerprint(sequential_report)
+
+            cold_s = _time(lambda: CFDDetector(relation, cfds,
+                                               engine="sequential").detect())
+            warm_s = _time(warm_detector.detect)
+            parallel_s = _time(parallel_detector.detect)
+            rows.append([size, len(sequential_report), cold_s, warm_s, parallel_s,
+                         cold_s / parallel_s, warm_s / parallel_s])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_series(
+        f"E14: sequential vs. parallel chunked CFD detection "
+        f"({workers} workers, noise 5%)",
+        ["tuples", "violations", "seq_cold_s", "seq_warm_s", "parallel_s",
+         "speedup_cold", "speedup_warm"], rows)
+
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["speedups_vs_cold"] = {str(r[0]): round(r[5], 2) for r in rows}
+    benchmark.extra_info["speedups_vs_warm"] = {str(r[0]): round(r[6], 2) for r in rows}
+    benchmark.extra_info["speedup_largest"] = round(rows[-1][5], 2)
+
+    if workers >= MIN_CPUS_FOR_TARGET:
+        assert rows[-1][5] >= SPEEDUP_TARGET, (
+            f"parallel engine reached only {rows[-1][5]:.2f}x over the columnar "
+            f"baseline at the largest size with {workers} workers "
+            f"(target {SPEEDUP_TARGET}x)")
+    else:
+        pytest.skip(f"speedup target needs >= {MIN_CPUS_FOR_TARGET} CPUs "
+                    f"(found {workers}); recorded speedup "
+                    f"{rows[-1][5]:.2f}x at {SIZES[-1]} tuples")

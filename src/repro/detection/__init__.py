@@ -18,6 +18,11 @@ Additionally:
   insertions and deletions without re-scanning the whole relation;
 * :mod:`repro.detection.cind_detect` detects CIND violations across two
   relations.
+
+The columnar detectors accept ``engine=``/``workers=`` knobs that route
+execution through the chunked engine (:mod:`repro.engine`): balanced
+column-partition chunks, per-chunk workers, and group merging at chunk
+boundaries — with reports byte-identical to the sequential path.
 """
 
 from repro.detection.cfd_detect import CFDDetector, SQLCFDDetector, detect_cfd_violations

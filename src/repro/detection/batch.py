@@ -9,7 +9,9 @@ substrate (grouping by integer code tuples, patterns compiled to code
 tests; ``use_columns=False`` restores the row-at-a-time variant); the
 naive alternative (one full detection pass per CFD) is available via
 :meth:`BatchCFDDetector.detect_naive` so that benchmarks can compare the
-two (experiment E3).
+two (experiment E3).  ``engine=``/``workers=`` run the columnar batch
+pass on the chunked execution engine (:mod:`repro.engine`) with
+byte-identical reports.
 """
 
 from __future__ import annotations
@@ -22,6 +24,8 @@ from repro.constraints.tableau import PatternTuple
 from repro.constraints.violations import CFDViolation, ViolationReport
 from repro.detection.cfd_detect import CFDDetector
 from repro.detection.columnar import NULL_CODE, compile_tableau
+from repro.engine.detect import ChunkedCFDEngine
+from repro.engine.executor import resolve_pool
 from repro.relational.index import HashIndex
 from repro.relational.relation import Relation
 from repro.relational.types import is_null
@@ -31,13 +35,18 @@ class BatchCFDDetector:
     """Detects a set of CFDs by merging tableaux per embedded FD."""
 
     def __init__(self, relation: Relation, cfds: Sequence[CFD],
-                 use_columns: bool = True) -> None:
+                 use_columns: bool = True,
+                 engine: str | None = None, workers: int | None = None) -> None:
         for cfd in cfds:
             cfd.validate_against(relation)
         self._relation = relation
         self._cfds = list(cfds)
         self._merged = merge_cfds(cfds)
         self._use_columns = use_columns
+        self._engine_name = engine
+        self._workers = workers
+        self._pool = resolve_pool(engine, workers) if use_columns else None
+        self._chunked: "ChunkedCFDEngine | None" = None
 
     @property
     def merged_cfds(self) -> list[CFD]:
@@ -49,6 +58,15 @@ class BatchCFDDetector:
     def detect(self) -> ViolationReport:
         """One grouping pass per embedded FD, all patterns checked per group."""
         report = ViolationReport(self._relation.name, tuples_checked=len(self._relation))
+        if self._pool is not None:
+            if self._chunked is None:
+                items = [(merged, compile_tableau(merged, self._relation))
+                         for merged in self._merged]
+                self._chunked = ChunkedCFDEngine(self._relation, items, self._pool,
+                                                 kind="batch")
+            for violations in self._chunked.detect():
+                report.extend(violations)
+            return report
         for merged in self._merged:
             report.extend(self._detect_merged(merged) if self._use_columns
                           else self._detect_merged_rows(merged))
@@ -129,7 +147,9 @@ class BatchCFDDetector:
         report = ViolationReport(self._relation.name, tuples_checked=len(self._relation))
         for cfd in self._cfds:
             report.extend(CFDDetector(self._relation, [cfd],
-                                      use_columns=self._use_columns).detect_one(cfd))
+                                      use_columns=self._use_columns,
+                                      engine=self._engine_name,
+                                      workers=self._workers).detect_one(cfd))
         return report
 
     # -- comparison helper -------------------------------------------------------------

@@ -18,6 +18,13 @@ tuples — the hot path never materialises a :class:`Tuple`.
 which produces identical reports (the parity tests assert this) and serves
 as the benchmark baseline.
 
+The columnar path can additionally run on the chunked execution engine
+(:mod:`repro.engine`): ``engine="serial"`` splits the scan into chunks
+with boundary merging, ``engine="parallel"`` fans the chunks out to a
+process pool (``workers=`` sets the size).  Reports stay byte-identical
+to the sequential columnar path; ``REPRO_ENGINE`` supplies a
+process-wide default so whole test runs can be forced through the engine.
+
 :class:`SQLCFDDetector` instead *generates SQL* — the approach of Fan et
 al.'s Semandaq system — and executes it on the library's SQL engine.  All
 paths return the same :class:`~repro.constraints.violations.ViolationReport`.
@@ -32,6 +39,8 @@ from repro.constraints.cfd import CFD
 from repro.constraints.tableau import PatternTuple, is_wildcard
 from repro.constraints.violations import CFDViolation, ViolationReport
 from repro.detection.columnar import NULL_CODE, CompiledPattern, compile_tableau
+from repro.engine.detect import ChunkedCFDEngine
+from repro.engine.executor import resolve_pool
 from repro.relational.database import Database
 from repro.relational.index import HashIndex
 from repro.relational.relation import Relation
@@ -43,7 +52,8 @@ class CFDDetector:
     """Direct (index-based) CFD violation detection on one relation."""
 
     def __init__(self, relation: Relation, cfds: Sequence[CFD],
-                 enumerate_pairs: bool = False, use_columns: bool = True) -> None:
+                 enumerate_pairs: bool = False, use_columns: bool = True,
+                 engine: str | None = None, workers: int | None = None) -> None:
         for cfd in cfds:
             cfd.validate_against(relation)
         self._relation = relation
@@ -51,18 +61,33 @@ class CFDDetector:
         self._enumerate_pairs = enumerate_pairs
         self._use_columns = use_columns
         self._indexes: dict[tuple[str, ...], HashIndex] = {}
+        # the chunked engine only exists for the columnar representation
+        self._pool = resolve_pool(engine, workers) if use_columns else None
+        self._chunked: "ChunkedCFDEngine | None" = None
 
     # -- public ----------------------------------------------------------------
 
     def detect(self) -> ViolationReport:
         """Detect all violations of all configured CFDs."""
         report = ViolationReport(self._relation.name, tuples_checked=len(self._relation))
+        if self._pool is not None:
+            for violations in self._engine().detect():
+                report.extend(violations)
+            return report
         for cfd in self._cfds:
             report.extend(self.detect_one(cfd))
         return report
 
     def detect_one(self, cfd: CFD) -> list[CFDViolation]:
         """Violations of a single CFD."""
+        if self._pool is not None:
+            for position, registered in enumerate(self._cfds):
+                if registered is cfd or registered == cfd:
+                    return self._engine().detect([position])[0]
+            ephemeral = ChunkedCFDEngine(
+                self._relation, [(cfd, compile_tableau(cfd, self._relation))],
+                self._pool, kind="cfd", enumerate_pairs=self._enumerate_pairs)
+            return ephemeral.detect()[0]
         violations: list[CFDViolation] = []
         if self._use_columns:
             for compiled in compile_tableau(cfd, self._relation):
@@ -73,6 +98,14 @@ class CFDDetector:
                 violations.extend(self._single_tuple_violations(cfd, pattern))
                 violations.extend(self._group_violations(cfd, pattern))
         return violations
+
+    def _engine(self) -> "ChunkedCFDEngine":
+        if self._chunked is None:
+            items = [(cfd, compile_tableau(cfd, self._relation)) for cfd in self._cfds]
+            self._chunked = ChunkedCFDEngine(self._relation, items, self._pool,
+                                             kind="cfd",
+                                             enumerate_pairs=self._enumerate_pairs)
+        return self._chunked
 
     # -- columnar path ------------------------------------------------------------
 
@@ -173,10 +206,13 @@ class CFDDetector:
 
 def detect_cfd_violations(relation: Relation, cfds: Sequence[CFD],
                           enumerate_pairs: bool = False,
-                          use_columns: bool = True) -> ViolationReport:
+                          use_columns: bool = True,
+                          engine: str | None = None,
+                          workers: int | None = None) -> ViolationReport:
     """Convenience wrapper around :class:`CFDDetector`."""
     return CFDDetector(relation, cfds, enumerate_pairs=enumerate_pairs,
-                       use_columns=use_columns).detect()
+                       use_columns=use_columns, engine=engine,
+                       workers=workers).detect()
 
 
 class SQLCFDDetector:

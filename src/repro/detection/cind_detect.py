@@ -11,7 +11,11 @@ to dictionary-code sets on each side, the scans read integer code arrays,
 and the cross-relation correspondence keys are built from per-code string
 caches (``str`` is computed once per distinct value, not once per tuple).
 ``use_columns=False`` restores the row-at-a-time scan; both produce
-identical reports.
+identical reports.  ``engine=``/``workers=`` route the columnar anti-join
+through the chunked execution engine (:mod:`repro.engine`): both sides
+are scanned chunk-by-chunk (optionally in a process pool) and the
+qualifying RHS keys are merged before the anti-join — still the same
+report, byte for byte.
 
 For reference (and for the SQL-generation tests) the detector can also
 emit the SQL the Semandaq system would issue; since the library's SQL
@@ -27,6 +31,8 @@ from repro.constraints.cind import CIND
 from repro.constraints.tableau import PatternTuple
 from repro.constraints.violations import CINDViolation, ViolationReport
 from repro.detection.columnar import NULL_CODE, constant_code_set
+from repro.engine.detect import ChunkedCINDEngine
+from repro.engine.executor import resolve_pool
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 from repro.relational.types import is_null
@@ -36,12 +42,16 @@ class CINDDetector:
     """Detects violations of a set of CINDs on a database."""
 
     def __init__(self, database: Database, cinds: Sequence[CIND],
-                 use_columns: bool = True) -> None:
+                 use_columns: bool = True,
+                 engine: str | None = None, workers: int | None = None) -> None:
         for cind in cinds:
             cind.validate_against(database)
         self._database = database
         self._cinds = list(cinds)
         self._use_columns = use_columns
+        # the chunked engine only exists for the columnar representation
+        self._pool = resolve_pool(engine, workers) if use_columns else None
+        self._chunked: "ChunkedCINDEngine | None" = None
 
     def detect(self) -> ViolationReport:
         """Detect all violations of all configured CINDs."""
@@ -49,17 +59,31 @@ class CINDDetector:
         report_name = next(iter(names)) if len(names) == 1 else "multiple"
         total = sum(len(self._database.relation(name)) for name in names)
         report = ViolationReport(report_name, tuples_checked=total)
+        if self._pool is not None:
+            for violations in self._engine().detect():
+                report.extend(violations)
+            return report
         for cind in self._cinds:
             report.extend(self.detect_one(cind))
         return report
 
     def detect_one(self, cind: CIND) -> list[CINDViolation]:
         """Violations of a single CIND."""
+        if self._pool is not None:
+            for position, registered in enumerate(self._cinds):
+                if registered is cind or registered == cind:
+                    return self._engine().detect([position])[0]
+            return ChunkedCINDEngine(self._database, [cind], self._pool).detect()[0]
         left = self._database.relation(cind.lhs_relation)
         right = self._database.relation(cind.rhs_relation)
         if self._use_columns:
             return self._detect_one_columnar(cind, left, right)
         return self._detect_one_rows(cind, left, right)
+
+    def _engine(self) -> "ChunkedCINDEngine":
+        if self._chunked is None:
+            self._chunked = ChunkedCINDEngine(self._database, self._cinds, self._pool)
+        return self._chunked
 
     @staticmethod
     def _compile_pattern(relation: Relation,

@@ -1,0 +1,50 @@
+"""Chunked (optionally parallel) execution engine for detection.
+
+The engine restructures detection around the columnar substrate: the live
+tid range of a relation is sliced into balanced :class:`Chunk`\\ s, every
+chunk is scanned independently (single-tuple violations and *partial
+groups* keyed by LHS code tuples), and a :class:`GroupMerger` stitches
+groups spanning chunk boundaries before per-group pattern checks run.
+Workers exchange plain code-level data only, so the same plan executes
+unchanged on the in-process :class:`SerialPool` or on the
+:class:`MultiprocessingPool`, whose worker processes receive the code
+arrays and dictionaries once per broadcast generation.
+
+Violation reports are **byte-identical** to the sequential columnar
+detectors for every chunk size and worker count — chunking is an
+execution detail, never an observable one.
+
+Detectors accept ``engine=`` (``"sequential"``, ``"serial"``,
+``"parallel"``) and ``workers=`` knobs; the ``REPRO_ENGINE``,
+``REPRO_WORKERS`` and ``REPRO_PARALLEL_THRESHOLD`` environment variables
+supply process-wide defaults (that is how CI forces the whole tier-1
+suite through the chunked path).
+"""
+
+from repro.engine.chunker import Chunk, Chunker
+from repro.engine.detect import ChunkedCFDEngine, ChunkedCINDEngine
+from repro.engine.executor import (
+    ENGINES,
+    ExecutorPool,
+    MultiprocessingPool,
+    SerialPool,
+    StateHandle,
+    resolve_pool,
+    shutdown_pools,
+)
+from repro.engine.merge import GroupMerger
+
+__all__ = [
+    "Chunk",
+    "Chunker",
+    "ChunkedCFDEngine",
+    "ChunkedCINDEngine",
+    "ENGINES",
+    "ExecutorPool",
+    "GroupMerger",
+    "MultiprocessingPool",
+    "SerialPool",
+    "StateHandle",
+    "resolve_pool",
+    "shutdown_pools",
+]

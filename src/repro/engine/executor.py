@@ -1,0 +1,227 @@
+"""Execution backends for the chunked detection engine.
+
+An :class:`ExecutorPool` runs per-chunk worker tasks against a broadcast
+*state* (see :mod:`repro.engine.worker`).  Two backends exist:
+
+* :class:`SerialPool` — runs tasks in-process.  Chunking and merging are
+  still exercised (the default splits into a handful of chunks), which is
+  what the chunk-boundary parity tests lean on;
+* :class:`MultiprocessingPool` — ships the state to a pool of worker
+  processes (codes and dictionaries travel once per broadcast
+  generation, via the pool initializer) and maps tasks across them.  OS
+  pools live in a small process-wide LRU registry keyed by (workers,
+  state token), so detectors with different broadcast states can
+  alternate without re-forking, and steady-state detection pays no spawn
+  cost; a plan that re-tokenises after a mutation retires its stale pool
+  explicitly.  Workloads smaller than ``min_rows`` fall back to
+  in-process execution — the report is byte-identical either way, so the
+  cut-over is invisible.
+
+:func:`resolve_pool` turns the user-facing ``engine=``/``workers=`` knobs
+(and the ``REPRO_ENGINE`` / ``REPRO_WORKERS`` / ``REPRO_PARALLEL_THRESHOLD``
+environment variables) into a pool, or ``None`` for the classic
+sequential path.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import multiprocessing
+import os
+from typing import Any, Iterator
+
+from repro.engine import worker
+
+ENGINE_ENV = "REPRO_ENGINE"
+WORKERS_ENV = "REPRO_WORKERS"
+THRESHOLD_ENV = "REPRO_PARALLEL_THRESHOLD"
+
+#: engine names accepted by detectors, the session, the CLI and the env var.
+ENGINES = ("sequential", "serial", "parallel")
+
+#: below this many live tuples the parallel backend runs in-process.
+DEFAULT_MIN_ROWS = 4096
+
+_token_counter = itertools.count(1)
+
+
+class StateHandle:
+    """A broadcastable state with an identity token.
+
+    Detection plans cache one handle per relation version; the
+    multiprocessing backend compares tokens to decide whether the worker
+    processes already hold this state or a pool must be (re)started.
+    When a plan re-tokenises after a relation mutation it passes the old
+    token as *supersedes*, letting the backend retire the now-stale pool
+    instead of waiting for LRU eviction.
+    """
+
+    __slots__ = ("token", "state", "supersedes")
+
+    def __init__(self, state: dict[str, Any],
+                 supersedes: int | None = None) -> None:
+        self.token = next(_token_counter)
+        self.state = state
+        self.supersedes = supersedes
+
+
+class ExecutorPool:
+    """Abstract task runner; concrete backends decide where tasks execute."""
+
+    name = "abstract"
+
+    def __init__(self, chunk_size: int | None = None,
+                 num_chunks: int | None = None) -> None:
+        self.chunk_size = chunk_size
+        self.num_chunks = num_chunks
+
+    def chunk_plan(self, rows: int) -> dict[str, int | None]:
+        """Keyword arguments for :class:`~repro.engine.chunker.Chunker`."""
+        if self.chunk_size is not None:
+            return {"chunk_size": self.chunk_size}
+        return {"num_chunks": self.num_chunks or self.default_chunks(rows)}
+
+    def default_chunks(self, rows: int) -> int:
+        raise NotImplementedError
+
+    def run(self, handle: StateHandle, tasks: list[tuple[str, Any]],
+            rows: int = 0) -> list[Any]:
+        """Run tasks against the state; results come back in task order."""
+        raise NotImplementedError
+
+    def run_stream(self, handle: StateHandle, tasks: list[tuple[str, Any]],
+                   rows: int = 0) -> "Iterator[Any]":
+        """Like :meth:`run` but yields results as they complete (task order).
+
+        Lets the parent overlap merging with still-running workers.
+        """
+        return iter(self.run(handle, tasks, rows))
+
+
+class SerialPool(ExecutorPool):
+    """Chunked execution on the calling thread (no processes involved)."""
+
+    name = "serial"
+    #: chunks used by default so boundary merging is exercised even serially.
+    DEFAULT_CHUNKS = 4
+
+    def default_chunks(self, rows: int) -> int:
+        return self.DEFAULT_CHUNKS
+
+    def run(self, handle: StateHandle, tasks: list[tuple[str, Any]],
+            rows: int = 0) -> list[Any]:
+        return worker.run_local(handle.state, tasks)
+
+
+# Process-wide registry of live OS pools, shared by every
+# MultiprocessingPool facade and keyed by (workers, state token).  Keeping
+# a small LRU of pools lets plans with different broadcast states (a CFD
+# and a CIND detector inside one session, say) alternate without
+# terminating and re-forking on every switch; stale generations are
+# retired explicitly via StateHandle.supersedes or by LRU eviction.
+_pools: "dict[tuple[int, int], Any]" = {}
+
+#: most pools kept alive at once (each holds `workers` OS processes).
+MAX_SHARED_POOLS = 4
+
+
+def _close_pool(key: tuple[int, int]) -> None:
+    pool = _pools.pop(key, None)
+    if pool is not None:
+        pool.terminate()
+        pool.join()
+
+
+def shutdown_pools() -> None:
+    """Terminate every shared worker pool now (also runs at exit).
+
+    One-shot callers (``detect_cfd_violations(..., engine="parallel")`` in
+    a loop, ephemeral ``detect_one`` plans) each broadcast a fresh state
+    and therefore fork a fresh pool; steady-state users should hold on to
+    a detector instead, but this releases the processes early either way.
+    """
+    for key in list(_pools):
+        _close_pool(key)
+
+
+atexit.register(shutdown_pools)
+
+
+class MultiprocessingPool(ExecutorPool):
+    """Multiprocess execution with broadcast-once state."""
+
+    name = "parallel"
+
+    def __init__(self, workers: int | None = None, chunk_size: int | None = None,
+                 num_chunks: int | None = None, min_rows: int | None = None) -> None:
+        super().__init__(chunk_size=chunk_size, num_chunks=num_chunks)
+        self.workers = max(1, workers if workers is not None
+                           else (os.cpu_count() or 1))
+        self.min_rows = DEFAULT_MIN_ROWS if min_rows is None else min_rows
+
+    def default_chunks(self, rows: int) -> int:
+        return self.workers
+
+    def run(self, handle: StateHandle, tasks: list[tuple[str, Any]],
+            rows: int = 0) -> list[Any]:
+        if not tasks:
+            return []
+        if self.workers <= 1 or len(tasks) <= 1 or rows < self.min_rows:
+            return worker.run_local(handle.state, tasks)
+        pool = self._ensure_pool(handle)
+        return pool.map(worker.dispatch, tasks)
+
+    def run_stream(self, handle: StateHandle, tasks: list[tuple[str, Any]],
+                   rows: int = 0) -> Any:
+        if not tasks:
+            return iter(())
+        if self.workers <= 1 or len(tasks) <= 1 or rows < self.min_rows:
+            return iter(worker.run_local(handle.state, tasks))
+        pool = self._ensure_pool(handle)
+        return pool.imap(worker.dispatch, tasks)
+
+    def _ensure_pool(self, handle: StateHandle) -> Any:
+        if handle.supersedes is not None:
+            _close_pool((self.workers, handle.supersedes))
+        key = (self.workers, handle.token)
+        pool = _pools.get(key)
+        if pool is not None:
+            _pools[key] = _pools.pop(key)  # LRU touch
+            return pool
+        while len(_pools) >= MAX_SHARED_POOLS:
+            _close_pool(next(iter(_pools)))  # evict the least recently used
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        pool = context.Pool(self.workers, initializer=worker.initialize,
+                            initargs=(handle.state,))
+        _pools[key] = pool
+        return pool
+
+
+def resolve_pool(engine: str | None = None,
+                 workers: int | None = None) -> ExecutorPool | None:
+    """Resolve the ``engine=``/``workers=`` knobs into an executor pool.
+
+    ``None`` means the classic sequential path (no chunking at all) —
+    the default when neither knob nor the ``REPRO_ENGINE`` environment
+    variable asks for more.  Passing only ``workers`` implies
+    ``"parallel"`` when more than one, ``"serial"`` for exactly one.
+    """
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV, "").strip().lower() or None
+    if engine is None and workers is not None:
+        engine = "parallel" if workers > 1 else "serial"
+    if engine is None or engine == "sequential":
+        return None
+    if engine == "serial":
+        return SerialPool()
+    if engine == "parallel":
+        if workers is None:
+            env_workers = os.environ.get(WORKERS_ENV, "").strip()
+            workers = int(env_workers) if env_workers else None
+        env_threshold = os.environ.get(THRESHOLD_ENV, "").strip()
+        min_rows = int(env_threshold) if env_threshold else None
+        return MultiprocessingPool(workers=workers, min_rows=min_rows)
+    raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")

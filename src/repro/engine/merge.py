@@ -1,0 +1,82 @@
+"""Stitching per-chunk partial groups back into global LHS groups.
+
+Chunk workers group their slice of the relation by LHS code tuples; a
+group whose tuples straddle a chunk boundary comes back as several
+partial groups under the same key.  :class:`GroupMerger` folds the chunk
+dictionaries together **in chunk order**, which restores two invariants
+of the sequential scan the detectors depend on for byte-identical
+reports:
+
+* merged keys appear in global first-occurrence order — exactly the
+  bucket order of a freshly rebuilt
+  :class:`~repro.relational.index.HashIndex`;
+* each merged tid list is ascending — exactly the order the sequential
+  scan appended them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.relational.columns import NULL_CODE
+
+
+class GroupMerger:
+    """Accumulates ``code key -> tids`` partial groups across chunks."""
+
+    __slots__ = ("_groups",)
+
+    def __init__(self) -> None:
+        self._groups: dict[tuple[int, ...], list[int]] = {}
+
+    def add_chunk(self, partial: Mapping[tuple[int, ...], list[int]]) -> None:
+        """Fold one chunk's partial groups in (call in chunk order)."""
+        groups = self._groups
+        for key, tids in partial.items():
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = tids
+            else:
+                bucket.extend(tids)
+
+    @property
+    def groups(self) -> dict[tuple[int, ...], list[int]]:
+        """All merged groups, keys in first-occurrence order, tids ascending."""
+        return self._groups
+
+    def checkable_groups(self) -> list[list[int]]:
+        """The tid lists of groups a variable-RHS pattern could violate.
+
+        Mirrors the sequential detectors' bucket filter: at least two
+        tuples, and no NULL component in the key (a NULL on the LHS never
+        participates in a group violation).  Order follows the merged key
+        order, so verdicts computed from this list can be emitted
+        positionally.
+        """
+        return [tids for key, tids in self._groups.items()
+                if len(tids) >= 2 and NULL_CODE not in key]
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __repr__(self) -> str:
+        return f"GroupMerger({len(self._groups)} groups)"
+
+
+def split_batches(items: list[Any], parts: int) -> list[list[Any]]:
+    """Split *items* into at most *parts* contiguous, balanced batches.
+
+    Used to fan merged groups out to the group-check workers; contiguity
+    keeps concatenated results in the original (first-occurrence) order.
+    """
+    if not items:
+        return []
+    parts = max(1, min(parts, len(items)))
+    base, extra = divmod(len(items), parts)
+    batches: list[list[Any]] = []
+    start = 0
+    for i in range(parts):
+        length = base + (1 if i < extra else 0)
+        batches.append(items[start:start + length])
+        start += length
+    return batches

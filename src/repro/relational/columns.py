@@ -41,6 +41,16 @@ TOMBSTONE = -1
 """The code marking a deleted (or never-live) tuple id in a code array."""
 
 
+def take(codes: Sequence[int], tids: Sequence[int]) -> list[int]:
+    """A compact chunk view of a code array: ``codes[tid]`` per tid.
+
+    The chunked execution engine slices tid-indexed code arrays into
+    per-chunk views with this helper (workers receive the live arrays and
+    a tid slice; the view aligns codes with the slice positionally).
+    """
+    return [codes[tid] for tid in tids]
+
+
 class ConstantMatcher:
     """The live set of codes of one column matching one pattern constant.
 
@@ -231,6 +241,7 @@ class ColumnStore:
     def code_arrays(self, positions: Sequence[int]) -> list[list[int]]:
         """The code arrays of the given schema positions (shared, read-only)."""
         return [self._columns[p].codes for p in positions]
+
 
     def key_codes(self, tid: int, positions: Sequence[int]) -> tuple[int, ...]:
         """The code tuple of one tuple id over the given positions."""

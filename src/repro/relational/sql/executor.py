@@ -4,7 +4,13 @@ Execution strategy:
 
 1. The FROM clause (tables, explicit joins and the WHERE conjuncts) is
    turned into a left-deep sequence of hash equi-joins where possible and
-   nested-loop filters otherwise (:class:`_FromPlanner`).
+   nested-loop filters otherwise (:class:`_FromPlanner`).  Simple
+   equality conjuncts (``t.col = 'literal'`` on a STRING column) are
+   compiled to dictionary-code sets against the relation's column store
+   — the same mechanism CFD pattern constants use
+   (:func:`repro.detection.columnar.constant_code_set`) — so matching
+   tuples are selected by integer membership before any row object or
+   binding dict is built.
 2. Remaining WHERE conjuncts filter the joined rows.
 3. GROUP BY / aggregates / HAVING are evaluated per group.
 4. The select list is projected, then DISTINCT / ORDER BY / LIMIT apply.
@@ -19,7 +25,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Any, Iterable
 
-from repro.errors import SQLExecutionError
+from repro.errors import SchemaError, SQLExecutionError
 from repro.relational.database import Database
 from repro.relational.expressions import (
     And,
@@ -27,6 +33,7 @@ from repro.relational.expressions import (
     Comparison,
     EvaluationContext,
     Expression,
+    Literal,
     truth,
 )
 from repro.relational.relation import Relation, Tuple
@@ -64,11 +71,19 @@ class _ExecRow:
         return _ExecRow(bindings, self.sources + other.sources)
 
 
-def _rows_for_table(database: Database, table: TableRef) -> list[_ExecRow]:
+def _rows_for_table(database: Database, table: TableRef,
+                    code_filters: list[tuple[list[int], set[int]]] | None = None) -> list[_ExecRow]:
     relation = database.relation(table.relation_name)
     binding = table.binding_name.lower()
     rows = []
-    for row in relation:
+    if code_filters:
+        # columnar fast path: select tids by integer code membership first,
+        # materialise bindings only for the survivors (same scan order).
+        source = (relation.tuple(tid) for tid in relation.tids()
+                  if all(codes[tid] in allowed for codes, allowed in code_filters))
+    else:
+        source = iter(relation)
+    for row in source:
         bindings: dict[str, Any] = {}
         for name in relation.schema.attribute_names:
             value = row[name]
@@ -111,13 +126,16 @@ class _FromPlanner:
         if not tables:
             raise SQLExecutionError("SELECT requires at least one relation in FROM")
 
-        bound_aliases = {tables[0].binding_name.lower()}
-        current = _rows_for_table(self._database, tables[0])
+        single_table = len(tables) == 1
         remaining = list(conjuncts)
+        bound_aliases = {tables[0].binding_name.lower()}
+        filters, remaining = self._split_code_filters(tables[0], remaining, single_table)
+        current = _rows_for_table(self._database, tables[0], filters)
 
         for table in tables[1:]:
             alias = table.binding_name.lower()
-            table_rows = _rows_for_table(self._database, table)
+            filters, remaining = self._split_code_filters(table, remaining, single_table)
+            table_rows = _rows_for_table(self._database, table, filters)
             equi, remaining = self._split_equi_conjuncts(remaining, bound_aliases, alias)
             if equi:
                 current = self._hash_join(current, table_rows, equi)
@@ -125,6 +143,61 @@ class _FromPlanner:
                 current = [left.merged(right) for left in current for right in table_rows]
             bound_aliases.add(alias)
         return current, remaining
+
+    def _split_code_filters(self, table: TableRef, conjuncts: list[Expression],
+                            single_table: bool) -> tuple[list[tuple[list[int], set[int]]],
+                                                         list[Expression]]:
+        """Compile ``col = 'literal'`` conjuncts on *table* to code-set filters.
+
+        Only STRING columns compared to string literals qualify: there the
+        constant code set CFD patterns build via
+        :func:`~repro.detection.columnar.constant_code_set` degenerates to
+        the single dictionary code of the literal (string equality is
+        exact and NULL never matches), so membership is decided by one
+        ``code_of`` lookup — no matcher registration, nothing retained on
+        the column after the query.  Everything else stays a residual
+        conjunct, so results — rows *and* their order — are identical to
+        the row-at-a-time path.
+        """
+        relation = self._database.relation(table.relation_name)
+        filters: list[tuple[list[int], set[int]]] = []
+        rest: list[Expression] = []
+        for conjunct in conjuncts:
+            equality = self._as_literal_equality(conjunct, table, single_table, relation)
+            if equality is None:
+                rest.append(conjunct)
+                continue
+            name, constant = equality
+            column = relation.columns.column(name)
+            code = column.code_of(constant)
+            filters.append((column.codes, set() if code is None else {code}))
+        return filters, rest
+
+    @staticmethod
+    def _as_literal_equality(conjunct: Expression, table: TableRef, single_table: bool,
+                             relation) -> tuple[str, str] | None:
+        if not isinstance(conjunct, Comparison) or conjunct.operator != "=":
+            return None
+        for ref, literal in ((conjunct.left, conjunct.right),
+                             (conjunct.right, conjunct.left)):
+            if isinstance(ref, ColumnRef) and isinstance(literal, Literal):
+                break
+        else:
+            return None
+        if not isinstance(literal.value, str):
+            return None
+        if ref.qualifier is not None:
+            if ref.qualifier.lower() != table.binding_name.lower():
+                return None
+        elif not single_table:
+            return None  # ambiguous without a qualifier; leave to evaluation
+        try:
+            position = relation.schema.position(ref.name)
+        except SchemaError:
+            return None  # unknown column: the residual path raises the error
+        if relation.schema.attributes[position].type is not AttributeType.STRING:
+            return None
+        return ref.name, literal.value
 
     def _split_equi_conjuncts(self, conjuncts: list[Expression], bound: set[str],
                               new_alias: str) -> tuple[list[tuple[str, str]], list[Expression]]:

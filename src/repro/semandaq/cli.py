@@ -3,12 +3,15 @@
 Usage::
 
     python -m repro.semandaq.cli DATA.csv CONSTRAINTS.txt [--repair OUT.csv]
+        [--engine {sequential,serial,parallel}] [--workers N]
 
 ``DATA.csv`` is loaded as a relation named after the file; ``CONSTRAINTS.txt``
 contains one CFD per line in the textual syntax of
 :mod:`repro.constraints.parse` (blank lines and ``#`` comments allowed).
 The tool prints the violation report; with ``--repair`` it also computes a
-repair and writes the repaired relation to ``OUT.csv``.
+repair and writes the repaired relation to ``OUT.csv``.  ``--engine`` /
+``--workers`` route detection through the chunked execution engine
+(:mod:`repro.engine`); reports are identical, only execution changes.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.engine.executor import ENGINES
 from repro.relational.csvio import read_csv, relation_to_csv
 from repro.semandaq.session import SemandaqSession
 
@@ -31,6 +35,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="compute a repair and write the repaired relation to OUT")
     parser.add_argument("--relation-name", default=None,
                         help="relation name used in the CFDs (default: the CSV file stem)")
+    parser.add_argument("--engine", choices=ENGINES, default=None,
+                        help="detection engine: 'sequential' (one pass, the default), "
+                             "'serial' (chunked, in-process) or 'parallel' "
+                             "(chunked, multiprocessing); reports are identical")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker processes for the parallel engine "
+                             "(default: the CPU count; implies --engine parallel "
+                             "when N > 1)")
     return parser
 
 
@@ -41,7 +53,8 @@ def main(argv: list[str] | None = None) -> int:
     relation_name = arguments.relation_name or data_path.stem
     relation = read_csv(data_path, relation_name)
 
-    session = SemandaqSession(relation)
+    session = SemandaqSession(relation, engine=arguments.engine,
+                              workers=arguments.workers)
     constraints_text = Path(arguments.constraints).read_text(encoding="utf-8")
     cfds = session.register_cfds(constraints_text)
     print(f"loaded {len(relation)} tuples and {len(cfds)} CFD(s)")

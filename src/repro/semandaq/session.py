@@ -26,7 +26,7 @@ from repro.constraints.cind import CIND
 from repro.constraints.parse import parse_cfd, parse_cfds, parse_cind
 from repro.constraints.reasoning import is_satisfiable, pairwise_conflicts
 from repro.constraints.violations import ViolationReport
-from repro.detection.cfd_detect import SQLCFDDetector
+from repro.detection.cfd_detect import CFDDetector, SQLCFDDetector
 from repro.detection.cind_detect import CINDDetector
 from repro.errors import ReproError
 from repro.relational.database import Database
@@ -40,14 +40,30 @@ LOCKED_WEIGHT = 10_000.0
 
 
 class SemandaqSession:
-    """An interactive constraint-based cleaning session over a database."""
+    """An interactive constraint-based cleaning session over a database.
 
-    def __init__(self, database: Database | Relation) -> None:
+    ``engine=``/``workers=`` select the chunked execution engine for
+    detection (see :mod:`repro.engine`): when either is given, CFD
+    detection switches from the SQL-generation path to the direct
+    columnar detector running on the engine, and CIND detection runs its
+    chunked anti-join.  Without them detection behaves as before (the
+    ``REPRO_ENGINE`` environment variable still reaches the underlying
+    detectors as a process-wide default).
+    """
+
+    def __init__(self, database: Database | Relation,
+                 engine: str | None = None, workers: int | None = None) -> None:
         if isinstance(database, Relation):
             wrapped = Database()
             wrapped.add(database)
             database = wrapped
+        self._engine = engine
+        self._workers = workers
         self._database = database
+        # detector caches (so engine plans and worker pools survive across
+        # detect() calls); invalidated when constraints are registered.
+        self._cfd_detectors: dict[str, CFDDetector] | None = None
+        self._cind_detector: CINDDetector | None = None
         self._cfds: list[CFD] = []
         self._cinds: list[CIND] = []
         self._cost_model = CostModel()
@@ -80,6 +96,7 @@ class SemandaqSession:
         for cfd in added:
             cfd.validate_against(self._database.relation(cfd.relation_name))
         self._cfds.extend(added)
+        self._cfd_detectors = None
         return added
 
     def register_cinds(self, cinds: Sequence[CIND | str] | str) -> list[CIND]:
@@ -90,6 +107,7 @@ class SemandaqSession:
         for cind in added:
             cind.validate_against(self._database)
         self._cinds.extend(added)
+        self._cind_detector = None
         return added
 
     def check_consistency(self) -> dict[str, Any]:
@@ -104,19 +122,53 @@ class SemandaqSession:
     # -- detection ------------------------------------------------------------------
 
     def detect(self) -> ViolationReport:
-        """Detect all violations of the registered constraints (SQL-based for CFDs)."""
+        """Detect all violations of the registered constraints.
+
+        CFD detection is SQL-based (the demo paper's approach) unless the
+        session was created with an explicit ``engine``/``workers``, in
+        which case the direct columnar detector runs on the chunked
+        engine.
+        """
         if not self._cfds and not self._cinds:
             raise ReproError("register constraints before calling detect()")
         reports: list[ViolationReport] = []
         if self._cfds:
-            reports.append(SQLCFDDetector(self._database, self._cfds).detect())
+            if self._engine is not None or self._workers is not None:
+                reports.append(self._detect_cfds_direct())
+            else:
+                reports.append(SQLCFDDetector(self._database, self._cfds).detect())
         if self._cinds:
-            reports.append(CINDDetector(self._database, self._cinds).detect())
+            if self._cind_detector is None:
+                self._cind_detector = CINDDetector(self._database, self._cinds,
+                                                   engine=self._engine,
+                                                   workers=self._workers)
+            reports.append(self._cind_detector.detect())
         merged = reports[0]
         for report in reports[1:]:
             merged = merged.merge(report)
         self._last_report = merged
         return merged
+
+    def _detect_cfds_direct(self) -> ViolationReport:
+        """Direct columnar CFD detection on the chunked engine (per relation)."""
+        relation_names = {cfd.relation_name for cfd in self._cfds}
+        report_name = next(iter(relation_names)) if len(relation_names) == 1 else "multiple"
+        total = sum(len(self._database.relation(name)) for name in relation_names)
+        report = ViolationReport(report_name, tuples_checked=total)
+        if self._cfd_detectors is None:
+            self._cfd_detectors = {}
+            for cfd in self._cfds:
+                key = cfd.relation_name.lower()
+                if key not in self._cfd_detectors:
+                    relevant = [c for c in self._cfds
+                                if c.relation_name.lower() == key]
+                    self._cfd_detectors[key] = CFDDetector(
+                        self._database.relation(cfd.relation_name), relevant,
+                        engine=self._engine, workers=self._workers)
+        for cfd in self._cfds:
+            detector = self._cfd_detectors[cfd.relation_name.lower()]
+            report.extend(detector.detect_one(cfd))
+        return report
 
     # -- repair ------------------------------------------------------------------------
 

@@ -257,3 +257,59 @@ class TestSQLAgainstAlgebraProperty:
         result = engine.query("SELECT k, v FROM t WHERE v >= 5")
         expected = [(k, v) for k, v in rows if v >= 5]
         assert sorted((t["k"], t["v"]) for t in result) == sorted(expected)
+
+
+class TestCodeSetFastPath:
+    """The columnar equality fast path must be invisible except in speed."""
+
+    def test_fast_path_engages_for_string_equality(self, database):
+        from repro.relational.sql.executor import _FromPlanner
+        from repro.relational.sql.parser import parse_sql as parse
+        statement = parse("SELECT t.phn FROM customer t WHERE t.city = 'edi'")
+        planner = _FromPlanner(database, statement)
+        table = statement.tables[0]
+        conjuncts = statement.where and [statement.where] or []
+        filters, rest = planner._split_code_filters(table, conjuncts, True)
+        assert len(filters) == 1 and not rest
+        codes, allowed = filters[0]
+        assert allowed  # 'edi' is interned, so the code set is non-empty
+
+    def test_same_rows_and_order_as_residual_evaluation(self, engine, database):
+        fast = engine.query("SELECT t.* FROM customer t WHERE t.city = 'nyc'")
+        # LENGTH() around the column defeats the fast path: same rows expected
+        slow = engine.query(
+            "SELECT t.* FROM customer t WHERE LOWER(t.city) = 'nyc'")
+        assert [tuple(r.values) for r in fast] == [tuple(r.values) for r in slow]
+        assert [r["phn"] for r in fast] == ["4444", "5555"]
+
+    def test_unqualified_column_single_table(self, engine):
+        result = engine.query("SELECT phn FROM customer WHERE city = 'edi'")
+        assert [r["phn"] for r in result] == ["1111", "2222"]
+
+    def test_null_cells_never_match(self, engine):
+        result = engine.query("SELECT phn FROM customer WHERE street = 'mtn ave'")
+        assert [r["phn"] for r in result] == ["4444", "4444"]  # NULL street excluded
+
+    def test_unseen_constant_yields_empty(self, engine):
+        assert len(engine.query("SELECT * FROM customer WHERE city = 'zzz'")) == 0
+
+    def test_reversed_operands_and_joins(self, engine):
+        result = engine.query(
+            "SELECT o.amount AS amount FROM customer c, orders o "
+            "WHERE c.phn = o.phn AND 'edi' = c.city ORDER BY amount")
+        assert [r["amount"] for r in result] == [10, 20]
+
+    def test_numeric_literal_stays_on_residual_path(self, engine):
+        # INTEGER column: '=' must keep SQL numeric semantics (1 == 1.0)
+        result = engine.query("SELECT phn FROM orders WHERE amount = 10")
+        assert [r["phn"] for r in result] == ["1111"]
+
+    def test_repeated_conjuncts_intersect(self, engine):
+        result = engine.query(
+            "SELECT phn FROM customer WHERE city = 'nyc' AND city = 'edi'")
+        assert len(result) == 0
+
+    def test_mixed_fast_and_residual_conjuncts(self, engine):
+        result = engine.query(
+            "SELECT phn FROM customer WHERE city = 'nyc' AND LENGTH(phn) = 4")
+        assert [r["phn"] for r in result] == ["4444", "5555"]
