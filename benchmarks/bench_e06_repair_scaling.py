@@ -1,8 +1,17 @@
-"""E6 — repair time vs. relation size.
+"""E6 — repair time vs. relation size, string path vs. dictionary path.
 
 Source shape (Cong et al.): repair time grows superlinearly but stays
 practical at the sizes of the experiments; the number of changed cells
 tracks the number of injected errors.
+
+Since the dictionary-coded repair core, ``BatchRepair`` runs on column
+codes by default (compiled pattern tests, per-code string caches, a
+memoised ``(code, code)`` distance cache) while ``use_columns=False``
+keeps the original row/string implementation.  The speedup series below
+records both, asserts the repairs are byte-identical at every size, and
+requires the dictionary path to be at least :data:`SPEEDUP_TARGET` times
+faster at the largest size — this is an algorithmic (single-process)
+speedup, so no CPU-count gate applies.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from conftest import print_series
 
 SIZES = [500, 1000, 2000, 4000]
 NOISE_RATE = 0.05
+SPEEDUP_TARGET = 1.5
 
 
 def _workload(size: int):
@@ -28,11 +38,32 @@ def _workload(size: int):
     return noise.dirty, generator.canonical_cfds(), len(noise.errors)
 
 
+def _identical(left, right) -> bool:
+    return (left.changes == right.changes and left.cost == right.cost
+            and left.passes == right.passes and left.converged == right.converged)
+
+
 @pytest.mark.parametrize("size", [500, 2000])
 def test_e06_repair_scaling(benchmark, size):
     dirty, cfds, _ = _workload(size)
     benchmark.pedantic(lambda: BatchRepair(dirty.copy(), cfds).repair(),
                        rounds=1, iterations=1)
+
+
+def test_e06_parity(benchmark):
+    """Dictionary-path repairs are byte-identical to the string path."""
+    dirty, cfds, _ = _workload(500)
+
+    def compute():
+        strings = BatchRepair(dirty, cfds, use_columns=False).repair()
+        codes = BatchRepair(dirty, cfds, use_columns=True).repair()
+        chunked = BatchRepair(dirty, cfds, use_columns=True, engine="serial").repair()
+        assert _identical(codes, strings)
+        assert _identical(chunked, strings)
+        return codes
+
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert result.changes and result.converged
 
 
 def test_e06_series(benchmark):
@@ -52,3 +83,31 @@ def test_e06_series(benchmark):
     # shape: time grows with size but stays laptop-feasible
     assert rows[-1][4] < 120
     assert rows[-1][4] >= rows[0][4]
+
+
+def test_e06_dictionary_speedup(benchmark):
+    """String path vs. dictionary path; ≥ 1.5x at the largest size."""
+    def compute():
+        rows = []
+        for size in SIZES:
+            dirty, cfds, _ = _workload(size)
+            started = time.perf_counter()
+            strings = BatchRepair(dirty, cfds, use_columns=False).repair()
+            string_s = time.perf_counter() - started
+            started = time.perf_counter()
+            codes = BatchRepair(dirty, cfds, use_columns=True).repair()
+            dict_s = time.perf_counter() - started
+            assert _identical(codes, strings)
+            rows.append([size, len(codes.changes), string_s, dict_s, string_s / dict_s])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_series("E6: string-path vs. dictionary-path repair (noise 5%)",
+                 ["tuples", "changes", "string_s", "dict_s", "speedup"], rows)
+
+    benchmark.extra_info["speedups"] = {str(r[0]): round(r[4], 2) for r in rows}
+    benchmark.extra_info["speedup_largest"] = round(rows[-1][4], 2)
+
+    assert rows[-1][4] >= SPEEDUP_TARGET, (
+        f"dictionary-path repair reached only {rows[-1][4]:.2f}x over the string "
+        f"path at {SIZES[-1]} tuples (target {SPEEDUP_TARGET}x)")

@@ -85,7 +85,7 @@ class Column:
     """
 
     __slots__ = ("attribute", "codes", "values", "counts",
-                 "_code_by_value", "_matchers", "_strings")
+                 "_code_by_value", "_matchers", "_strings", "_distances")
 
     def __init__(self, attribute: str) -> None:
         from repro.relational.types import NULL
@@ -97,6 +97,7 @@ class Column:
         self._code_by_value: dict[Any, int] = {NULL: NULL_CODE}
         self._matchers: dict[Hashable, ConstantMatcher] = {}
         self._strings: list[str] | None = None
+        self._distances: dict[Hashable, dict[tuple[int, int], float]] = {}
 
     # -- encoding ---------------------------------------------------------
 
@@ -157,6 +158,24 @@ class Column:
             self._matchers[key] = matcher
         return matcher
 
+    # -- distance memo ----------------------------------------------------
+
+    def distance_cache(self, key: Hashable) -> dict[tuple[int, int], float]:
+        """A ``(code, code) → distance`` memo for one distance function.
+
+        The repair cost model stores ``dist(values[a], values[b])`` here,
+        keyed by the model's distance-function identity, so repeated cost
+        evaluations decode a code pair at most once (the per-code string
+        cache makes the miss itself cheap).  Like matcher sets, caches are
+        cleared in place on rebuild — codes are re-interned then — so
+        long-lived references stay valid.
+        """
+        cache = self._distances.get(key)
+        if cache is None:
+            cache = {}
+            self._distances[key] = cache
+        return cache
+
     # -- statistics -------------------------------------------------------
 
     def null_count(self) -> int:
@@ -199,6 +218,8 @@ class Column:
         self._strings = None
         for matcher in self._matchers.values():
             matcher.codes.clear()
+        for cache in self._distances.values():
+            cache.clear()
 
     def __repr__(self) -> str:
         return (f"Column({self.attribute!r}, {len(self.values) - 1} distinct values, "

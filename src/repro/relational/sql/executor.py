@@ -4,13 +4,13 @@ Execution strategy:
 
 1. The FROM clause (tables, explicit joins and the WHERE conjuncts) is
    turned into a left-deep sequence of hash equi-joins where possible and
-   nested-loop filters otherwise (:class:`_FromPlanner`).  Simple
-   equality conjuncts (``t.col = 'literal'`` on a STRING column) are
-   compiled to dictionary-code sets against the relation's column store
-   — the same mechanism CFD pattern constants use
-   (:func:`repro.detection.columnar.constant_code_set`) — so matching
-   tuples are selected by integer membership before any row object or
-   binding dict is built.
+   nested-loop filters otherwise (:class:`_FromPlanner`).  String-constant
+   conjuncts on STRING columns (``t.col = 'lit'``, ``t.col != 'lit'``,
+   ``t.col [NOT] IN ('a', 'b')``) are compiled to dictionary-code sets
+   against the relation's column store — the same mechanism CFD pattern
+   constants use (:func:`repro.detection.columnar.constant_code_set`) —
+   so matching tuples are selected by integer membership before any row
+   object or binding dict is built.
 2. Remaining WHERE conjuncts filter the joined rows.
 3. GROUP BY / aggregates / HAVING are evaluated per group.
 4. The select list is projected, then DISTINCT / ORDER BY / LIMIT apply.
@@ -33,6 +33,7 @@ from repro.relational.expressions import (
     Comparison,
     EvaluationContext,
     Expression,
+    InList,
     Literal,
     truth,
 )
@@ -147,45 +148,73 @@ class _FromPlanner:
     def _split_code_filters(self, table: TableRef, conjuncts: list[Expression],
                             single_table: bool) -> tuple[list[tuple[list[int], set[int]]],
                                                          list[Expression]]:
-        """Compile ``col = 'literal'`` conjuncts on *table* to code-set filters.
+        """Compile string-constant conjuncts on *table* to code-set filters.
 
-        Only STRING columns compared to string literals qualify: there the
-        constant code set CFD patterns build via
+        ``col = 'lit'``, ``col != 'lit'`` (and ``<>``), ``col IN (...)``
+        and ``col NOT IN (...)`` qualify when the column is STRING-typed
+        and every constant is a string literal: there the constant code
+        set CFD patterns build via
         :func:`~repro.detection.columnar.constant_code_set` degenerates to
-        the single dictionary code of the literal (string equality is
-        exact and NULL never matches), so membership is decided by one
-        ``code_of`` lookup — no matcher registration, nothing retained on
-        the column after the query.  Everything else stays a residual
-        conjunct, so results — rows *and* their order — are identical to
-        the row-at-a-time path.
+        the dictionary codes of the literals (string equality is exact and
+        NULL never matches), so membership is decided by ``code_of``
+        lookups — no matcher registration, nothing retained on the column
+        after the query.  The negated forms take the complement of the
+        literal codes over the current dictionary; NULL stays excluded
+        either way, matching SQL's three-valued logic (``NULL != 'x'`` is
+        UNKNOWN).  Everything else stays a residual conjunct, so results —
+        rows *and* their order — are identical to the row-at-a-time path.
         """
         relation = self._database.relation(table.relation_name)
         filters: list[tuple[list[int], set[int]]] = []
         rest: list[Expression] = []
         for conjunct in conjuncts:
-            equality = self._as_literal_equality(conjunct, table, single_table, relation)
-            if equality is None:
+            extracted = self._as_string_constants(conjunct, table, single_table, relation)
+            if extracted is None:
                 rest.append(conjunct)
                 continue
-            name, constant = equality
+            name, constants, negated = extracted
             column = relation.columns.column(name)
-            code = column.code_of(constant)
-            filters.append((column.codes, set() if code is None else {code}))
+            codes = {column.code_of(constant) for constant in constants}
+            codes.discard(None)
+            if negated:
+                codes = set(range(1, len(column.values))) - codes
+            filters.append((column.codes, codes))
         return filters, rest
 
+    @classmethod
+    def _as_string_constants(cls, conjunct: Expression, table: TableRef, single_table: bool,
+                             relation) -> tuple[str, list[str], bool] | None:
+        """``(column, string literals, negated)`` of a push-downable conjunct."""
+        if isinstance(conjunct, Comparison) and conjunct.operator in ("=", "!=", "<>"):
+            for ref, literal in ((conjunct.left, conjunct.right),
+                                 (conjunct.right, conjunct.left)):
+                if isinstance(ref, ColumnRef) and isinstance(literal, Literal):
+                    break
+            else:
+                return None
+            if not isinstance(literal.value, str):
+                return None
+            name = cls._string_column_on_table(ref, table, single_table, relation)
+            if name is None:
+                return None
+            return name, [literal.value], conjunct.operator != "="
+        if isinstance(conjunct, InList):
+            ref = conjunct.operand
+            if not isinstance(ref, ColumnRef):
+                return None
+            if not all(isinstance(value, Literal) and isinstance(value.value, str)
+                       for value in conjunct.values):
+                return None  # non-string or non-literal members: residual evaluation
+            name = cls._string_column_on_table(ref, table, single_table, relation)
+            if name is None:
+                return None
+            return name, [value.value for value in conjunct.values], conjunct.negated
+        return None
+
     @staticmethod
-    def _as_literal_equality(conjunct: Expression, table: TableRef, single_table: bool,
-                             relation) -> tuple[str, str] | None:
-        if not isinstance(conjunct, Comparison) or conjunct.operator != "=":
-            return None
-        for ref, literal in ((conjunct.left, conjunct.right),
-                             (conjunct.right, conjunct.left)):
-            if isinstance(ref, ColumnRef) and isinstance(literal, Literal):
-                break
-        else:
-            return None
-        if not isinstance(literal.value, str):
-            return None
+    def _string_column_on_table(ref: ColumnRef, table: TableRef, single_table: bool,
+                                relation) -> str | None:
+        """*ref*'s name when it is a STRING column of *table*, else ``None``."""
         if ref.qualifier is not None:
             if ref.qualifier.lower() != table.binding_name.lower():
                 return None
@@ -197,7 +226,7 @@ class _FromPlanner:
             return None  # unknown column: the residual path raises the error
         if relation.schema.attributes[position].type is not AttributeType.STRING:
             return None
-        return ref.name, literal.value
+        return ref.name
 
     def _split_equi_conjuncts(self, conjuncts: list[Expression], bound: set[str],
                               new_alias: str) -> tuple[list[tuple[str, str]], list[Expression]]:

@@ -20,6 +20,20 @@ The algorithm follows Cong et al. (VLDB 2007):
    oscillation between interacting CFDs is theoretically possible, and the
    result records whether the fixpoint was reached).
 
+By default the whole loop runs on the relation's dictionary-encoded
+columns: pattern scope checks are compiled code tests
+(:class:`~repro.detection.columnar.CompiledPattern`), value agreement is
+decided through the per-code string caches, pinned targets live in a
+:class:`~repro.repair.eqclass.CodeEquivalenceClasses` keyed by ``(tid,
+column position)``, and cheapest targets come from the cost model's
+code-level face with its per-column distance memo.  Values are decoded
+only at the write-back and :class:`CellChange` boundaries.  The per-pass
+detection reuses one :class:`~repro.detection.batch.BatchCFDDetector`, so
+``engine=``/``workers=`` route every inner detection pass through the
+chunked execution engine (:mod:`repro.engine`).  ``use_columns=False``
+restores the original row/string path; both paths produce byte-identical
+:class:`Repair` results (same changes, cost, passes and convergence).
+
 The repair never touches the input relation: it works on a copy and
 returns a :class:`Repair` carrying the repaired relation, the list of cell
 changes, their total cost and convergence information.
@@ -32,11 +46,15 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.constraints.cfd import CFD, merge_cfds
+from repro.constraints.tableau import PatternTuple
 from repro.constraints.violations import CFDViolation
 from repro.detection.batch import BatchCFDDetector
+from repro.detection.columnar import CompiledPattern
 from repro.errors import RepairError
+from repro.relational.columns import Column
 from repro.relational.relation import Relation
 from repro.repair.cost import CostModel
+from repro.repair.eqclass import CodeEquivalenceClasses
 
 
 @dataclass(frozen=True)
@@ -74,6 +92,45 @@ class Repair:
                 f"cost {self.cost:.3f}, {self.passes} pass(es), {status}")
 
 
+class RepairPlan:
+    """One (CFD, pattern) pair compiled against a relation's column store.
+
+    Bundles everything the code-level resolution steps need: the compiled
+    LHS tests, the LHS code arrays (for group-key snapshots) and, per RHS
+    attribute, its schema position and column — plus, for constant RHS
+    attributes, the raw pattern constant, its string form and its
+    dictionary code (interned once; codes pinned in the equivalence
+    classes refer to it).  The referenced arrays and matcher sets are
+    maintained in place by the column store, so a plan stays valid across
+    the repair's own updates.
+    """
+
+    __slots__ = ("compiled", "key_arrays", "constant_rhs", "variable_rhs")
+
+    def __init__(self, cfd: CFD, pattern: PatternTuple, relation: Relation) -> None:
+        store = relation.columns
+        self.compiled = CompiledPattern(cfd, pattern, relation)
+        positions = relation.schema.positions(list(cfd.lhs))
+        self.key_arrays = store.code_arrays(positions)
+        self.constant_rhs: list[tuple[str, int, Column, Any, str, int]] = []
+        self.variable_rhs: list[tuple[str, int, Column]] = []
+        for attribute in cfd.rhs:
+            position = relation.schema.position(attribute)
+            column = store.column_at(position)
+            if pattern.is_constant_on(attribute):
+                target = pattern.constant(attribute)
+                self.constant_rhs.append((attribute, position, column, target,
+                                          str(target), column.intern(target)))
+            else:
+                self.variable_rhs.append((attribute, position, column))
+
+    def lhs_matches(self, tid: int) -> bool:
+        return self.compiled.lhs_matches(tid)
+
+    def key_codes(self, tid: int) -> tuple[int, ...]:
+        return tuple(codes[tid] for codes in self.key_arrays)
+
+
 class BatchRepair:
     """Repairs a whole relation against a set of CFDs."""
 
@@ -85,7 +142,9 @@ class BatchRepair:
     def __init__(self, relation: Relation, cfds: Sequence[CFD],
                  cost_model: CostModel | None = None,
                  ordering: str = "largest_first",
-                 max_passes: int = 25) -> None:
+                 max_passes: int = 25,
+                 use_columns: bool = True,
+                 engine: str | None = None, workers: int | None = None) -> None:
         if ordering not in self.ORDERINGS:
             raise RepairError(f"unknown ordering {ordering!r}; known: {self.ORDERINGS}")
         for cfd in cfds:
@@ -95,6 +154,9 @@ class BatchRepair:
         self._cost_model = cost_model or CostModel()
         self._ordering = ordering
         self._max_passes = max_passes
+        self._use_columns = use_columns
+        self._engine_name = engine
+        self._workers = workers
         self._fresh_counter = itertools.count()
 
     # -- public ----------------------------------------------------------------
@@ -102,31 +164,39 @@ class BatchRepair:
     def repair(self) -> Repair:
         """Run the repair and return the result (the input relation is untouched)."""
         working = self._original.copy()
+        detector = BatchCFDDetector(working, self._cfds,
+                                    use_columns=self._use_columns,
+                                    engine=self._engine_name, workers=self._workers)
+        plans: dict[tuple[CFD, PatternTuple], RepairPlan] = {}
         passes = 0
         converged = False
 
         for _ in range(self._max_passes):
             passes += 1
-            report = BatchCFDDetector(working, self._cfds).detect()
+            report = detector.detect()
             if report.is_clean():
                 converged = True
                 break
-            pinned: dict[tuple[int, str], Any] = {}
             violations = self._ordered(list(report.violations))
-            for violation in violations:
-                if violation.is_single_tuple:
-                    self._resolve_constant(working, violation, pinned)
-            for violation in violations:
-                if not violation.is_single_tuple:
-                    self._resolve_group(working, violation, pinned)
+            if self._use_columns:
+                pinned_codes = CodeEquivalenceClasses()
+                for violation in violations:
+                    if violation.is_single_tuple:
+                        self._resolve_constant_codes(working, violation, pinned_codes, plans)
+                for violation in violations:
+                    if not violation.is_single_tuple:
+                        self._resolve_group_codes(working, violation, pinned_codes, plans)
+            else:
+                pinned: dict[tuple[int, str], Any] = {}
+                for violation in violations:
+                    if violation.is_single_tuple:
+                        self._resolve_constant(working, violation, pinned)
+                for violation in violations:
+                    if not violation.is_single_tuple:
+                        self._resolve_group(working, violation, pinned)
         else:
             # loop ended without break: check once more
-            converged = BatchCFDDetector(working, self._cfds).detect().is_clean()
-
-        if not converged:
-            report = BatchCFDDetector(working, self._cfds).detect()
-            if report.is_clean():
-                converged = True
+            converged = detector.detect().is_clean()
 
         changes = self._collect_changes(working)
         cost = sum(
@@ -136,7 +206,88 @@ class BatchRepair:
         return Repair(relation=working, changes=changes, cost=cost,
                       passes=passes, converged=converged)
 
-    # -- resolution steps ----------------------------------------------------------
+    # -- code-level resolution ---------------------------------------------------
+
+    def _plan_for(self, working: Relation, violation: CFDViolation,
+                  plans: dict[tuple[CFD, PatternTuple], RepairPlan]) -> RepairPlan:
+        key = (violation.cfd, violation.pattern)
+        plan = plans.get(key)
+        if plan is None:
+            plan = RepairPlan(violation.cfd, violation.pattern, working)
+            plans[key] = plan
+        return plan
+
+    def _resolve_constant_codes(self, working: Relation, violation: CFDViolation,
+                                pinned: CodeEquivalenceClasses,
+                                plans: dict[tuple[CFD, PatternTuple], RepairPlan]) -> None:
+        """Code-level twin of :meth:`_resolve_constant`."""
+        tid = violation.tids[0]
+        if tid not in working:
+            return
+        plan = self._plan_for(working, violation, plans)
+        if not plan.lhs_matches(tid):
+            return  # an earlier resolution already moved this tuple out of scope
+        for attribute, position, column, target, target_str, target_code in plan.constant_rhs:
+            strings = column.strings
+            if strings[column.codes[tid]] == target_str:
+                continue
+            cell = (tid, position)
+            existing = pinned.pinned_value(cell)
+            if existing is not None and strings[existing] != target_str:
+                # two constant CFDs demand different values for the same cell:
+                # the CFD set is inconsistent on this tuple; move it out of the
+                # second pattern's scope instead of flip-flopping.
+                self._break_lhs(working, violation.cfd, tid)
+                return
+            working.update(tid, attribute, target)
+            if existing is None:
+                pinned.pin(cell, target_code)
+
+    def _resolve_group_codes(self, working: Relation, violation: CFDViolation,
+                             pinned: CodeEquivalenceClasses,
+                             plans: dict[tuple[CFD, PatternTuple], RepairPlan]) -> None:
+        """Code-level twin of :meth:`_resolve_group`."""
+        tids = [tid for tid in violation.tids if tid in working]
+        if len(tids) < 2:
+            return
+        plan = self._plan_for(working, violation, plans)
+        # the group may have drifted apart due to earlier resolutions
+        live = [tid for tid in tids if plan.lhs_matches(tid)]
+        if len(live) < 2:
+            return
+        key_codes = {tid: plan.key_codes(tid) for tid in live}
+        anchor = key_codes[live[0]]
+        live = [tid for tid in live if key_codes[tid] == anchor]
+        if len(live) < 2:
+            return
+
+        for attribute, position, column in plan.variable_rhs:
+            codes = column.codes
+            strings = column.strings
+            cells = [(tid, codes[tid]) for tid in live]
+            if len({strings[code] for _, code in cells}) <= 1:
+                continue
+            pins = {strings[pinned.pinned_value((tid, position))]
+                    for tid in live if pinned.is_pinned((tid, position))}
+            if len(pins) > 1:
+                # irreconcilable constants: split the group on the LHS
+                for tid in live[1:]:
+                    self._break_lhs(working, violation.cfd, tid)
+                return
+            if pins:
+                # the string path writes str(pinned constant); mirror that
+                target_str = next(iter(pins))
+                target_value: Any = target_str
+            else:
+                target_code, _ = self._cost_model.cheapest_target_code(
+                    attribute, column, cells)
+                target_str = strings[target_code]
+                target_value = column.value_of(target_code)
+            for tid, code in cells:
+                if strings[code] != target_str:
+                    working.update(tid, attribute, target_value)
+
+    # -- row/string resolution (the retained legacy path) -------------------------
 
     def _ordered(self, violations: list[CFDViolation]) -> list[CFDViolation]:
         if self._ordering == "largest_first":
@@ -220,6 +371,8 @@ class BatchRepair:
     # -- bookkeeping -------------------------------------------------------------------
 
     def _collect_changes(self, working: Relation) -> list[CellChange]:
+        if self._use_columns:
+            return self._collect_changes_codes(working)
         changes: list[CellChange] = []
         for tid in self._original.tids():
             if tid not in working:
@@ -230,6 +383,24 @@ class BatchRepair:
                 old_value, new_value = original_row[attribute], repaired_row[attribute]
                 if str(old_value) != str(new_value):
                     changes.append(CellChange(tid, attribute.lower(), old_value, new_value))
+        return changes
+
+    def _collect_changes_codes(self, working: Relation) -> list[CellChange]:
+        """Change sweep on codes: per-code string compares, decode only changed cells."""
+        changes: list[CellChange] = []
+        names = [name.lower() for name in self._original.schema.attribute_names]
+        original_columns = self._original.columns.columns()
+        working_columns = working.columns.columns()
+        pairs = [(o.codes, o.strings, o.values, w.codes, w.strings, w.values)
+                 for o, w in zip(original_columns, working_columns)]
+        for tid in self._original.tids():
+            if tid not in working:
+                continue
+            for name, (o_codes, o_strings, o_values, w_codes, w_strings, w_values) \
+                    in zip(names, pairs):
+                o_code, w_code = o_codes[tid], w_codes[tid]
+                if o_strings[o_code] != w_strings[w_code]:
+                    changes.append(CellChange(tid, name, o_values[o_code], w_values[w_code]))
         return changes
 
 

@@ -6,13 +6,23 @@ per-cell confidence weight (1.0 by default — the user trusts every cell
 equally) and ``dist`` is a normalized distance in ``[0, 1]`` (here:
 normalized edit distance).  The cost of a repair is the sum over all
 changed cells; BatchRepair picks target values that minimize this sum.
+
+The model has two equivalent faces.  The value-level one
+(:meth:`CostModel.change_cost`, :meth:`CostModel.cheapest_target`) takes
+raw values; the code-level one (:meth:`CostModel.code_distance`,
+:meth:`CostModel.cheapest_target_code`) takes dictionary codes of one
+:class:`~repro.relational.columns.Column` and memoises every
+``(code, code)`` distance on the column itself — codes are decoded only
+on a cache miss, so repeated repair passes over the same groups never
+recompute a pair.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Mapping
+from typing import Any, Callable, Hashable, Iterable, Mapping
 
 from repro.matching.similarity import normalized_edit_distance
+from repro.relational.columns import Column, NULL_CODE
 from repro.relational.types import is_null
 
 
@@ -26,6 +36,12 @@ class CostModel:
         self._default_weight = default_weight
         self._weights: dict[tuple[int, str], float] = {}
         self._distance = distance or normalized_edit_distance
+        # Column-level memos are shared between models with the same
+        # distance *behaviour*: the concrete class participates so a
+        # subclass overriding distance() can never poison the memo of a
+        # plain model (and vice versa), while models passing the same
+        # function reuse one memo instead of growing a fresh one each.
+        self._distance_key: Hashable = (type(self), self._distance)
 
     # -- weights ------------------------------------------------------------
 
@@ -84,3 +100,59 @@ class CostModel:
             if cost < best_cost:
                 best_value, best_cost = candidate, cost
         return best_value, best_cost
+
+    # -- code-level costs ----------------------------------------------------
+
+    def code_distance(self, column: Column, code: int, target_code: int) -> float:
+        """:meth:`distance` between two dictionary codes of one column.
+
+        Memoised in the column's :meth:`~repro.relational.columns.Column.
+        distance_cache` under this model's distance identity; the pair is
+        decoded (and the distance computed) only on the first encounter.
+        Equal codes short-circuit to ``0.0`` — which also covers the
+        NULL/NULL case, since NULL is one shared code.
+        """
+        if code == target_code:
+            return 0.0
+        cache = column.distance_cache(self._distance_key)
+        key = (code, target_code)
+        value = cache.get(key)
+        if value is None:
+            value = self.distance(column.value_of(code), column.value_of(target_code))
+            cache[key] = value
+        return value
+
+    def code_target_cost(self, attribute: str, column: Column,
+                         cells: Iterable[tuple[int, int]], target_code: int) -> float:
+        """:meth:`target_cost` on codes: cells are ``(tid, code)`` pairs."""
+        return sum(self.weight(tid, attribute) * self.code_distance(column, code, target_code)
+                   for tid, code in cells)
+
+    def cheapest_target_code(self, attribute: str, column: Column,
+                             cells: list[tuple[int, int]],
+                             candidates: Iterable[int] | None = None) -> tuple[int, float]:
+        """Code-level :meth:`cheapest_target` over one column's cells.
+
+        The default candidate pool is the distinct current codes of the
+        cells, deduplicated by their per-code string form in first
+        occurrence order — exactly the pool (and tie-break order) the
+        value-level path builds, so both faces of the model pick the same
+        target at the same cost.
+        """
+        if not cells:
+            raise ValueError("cheapest_target_code needs at least one cell")
+        pool = list(candidates) if candidates is not None else []
+        if not pool:
+            strings = column.strings
+            seen: set[str | None] = set()
+            for _, code in cells:
+                key = strings[code] if code != NULL_CODE else None
+                if key not in seen:
+                    seen.add(key)
+                    pool.append(code)
+        best_code, best_cost = NULL_CODE, float("inf")
+        for candidate in pool:
+            cost = self.code_target_cost(attribute, column, cells, candidate)
+            if cost < best_cost:
+                best_code, best_cost = candidate, cost
+        return best_code, best_cost

@@ -19,21 +19,29 @@ For each new tuple and each CFD:
 A small number of passes handles cascades (a repaired RHS attribute can be
 another CFD's LHS attribute).  Experiment E7 compares IncRepair with
 running BatchRepair from scratch as the delta grows.
+
+Like :class:`~repro.repair.batch_repair.BatchRepair`, the default path
+runs on dictionary codes: pattern scope checks are compiled code tests,
+agreement with pattern constants and base-group values is decided through
+the per-code string caches, and delta-group equalization uses the cost
+model's code-level face.  ``use_columns=False`` keeps the original
+row/string path (value-keyed index, per-row ``str`` compares) with
+byte-identical results; ``engine=``/``workers=`` route the final
+delta-cleanliness detection through the chunked execution engine.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Any, Iterable, Sequence
 
 from repro.constraints.cfd import CFD, merge_cfds
+from repro.constraints.tableau import PatternTuple
 from repro.detection.batch import BatchCFDDetector
-from repro.errors import RepairError
 from repro.relational.columns import NULL_CODE
 from repro.relational.index import HashIndex
 from repro.relational.relation import Relation
 from repro.relational.types import is_null
-from repro.repair.batch_repair import CellChange, Repair
+from repro.repair.batch_repair import CellChange, Repair, RepairPlan
 from repro.repair.cost import CostModel
 
 
@@ -41,13 +49,18 @@ class IncRepair:
     """Repairs a batch of new tuples against a clean base relation."""
 
     def __init__(self, relation: Relation, cfds: Sequence[CFD],
-                 cost_model: CostModel | None = None, max_passes: int = 5) -> None:
+                 cost_model: CostModel | None = None, max_passes: int = 5,
+                 use_columns: bool = True,
+                 engine: str | None = None, workers: int | None = None) -> None:
         for cfd in cfds:
             cfd.validate_against(relation)
         self._relation = relation
         self._cfds = merge_cfds(cfds)
         self._cost_model = cost_model or CostModel()
         self._max_passes = max_passes
+        self._use_columns = use_columns
+        self._engine_name = engine
+        self._workers = workers
 
     def repair_delta(self, delta_tids: Iterable[int]) -> Repair:
         """Repair the tuples *delta_tids* in place (only those may change)."""
@@ -57,11 +70,15 @@ class IncRepair:
 
         converged = False
         passes = 0
+        plans: dict[tuple[CFD, PatternTuple], RepairPlan] = {}
         for _ in range(self._max_passes):
             passes += 1
             changed = False
             for cfd in self._cfds:
-                changed |= self._repair_cfd(cfd, delta, delta_set)
+                if self._use_columns:
+                    changed |= self._repair_cfd_codes(cfd, delta, delta_set, plans)
+                else:
+                    changed |= self._repair_cfd(cfd, delta, delta_set)
             if not changed:
                 converged = True
                 break
@@ -74,11 +91,79 @@ class IncRepair:
         return Repair(relation=self._relation, changes=changes, cost=cost,
                       passes=passes, converged=converged)
 
-    # -- per-CFD repair ---------------------------------------------------------
+    # -- per-CFD repair on codes ------------------------------------------------
+
+    def _repair_cfd_codes(self, cfd: CFD, delta: list[int], delta_set: set[int],
+                          plans: dict[tuple[CFD, PatternTuple], RepairPlan]) -> bool:
+        changed = False
+        relation = self._relation
+        index = HashIndex(relation, list(cfd.lhs))
+        for pattern in cfd.tableau:
+            key = (cfd, pattern)
+            plan = plans.get(key)
+            if plan is None:
+                plan = RepairPlan(cfd, pattern, relation)
+                plans[key] = plan
+
+            for tid in delta:
+                if not plan.lhs_matches(tid):
+                    continue
+
+                # constant part: write the pattern's RHS constants
+                for attribute, _position, column, target, target_str, _code in plan.constant_rhs:
+                    if column.strings[column.codes[tid]] != target_str:
+                        relation.update(tid, attribute, target)
+                        changed = True
+
+                if not plan.variable_rhs:
+                    continue
+
+                key_codes = plan.key_codes(tid)
+                if NULL_CODE in key_codes:
+                    continue
+                group = index.bucket_view(key_codes)
+                base_tids = sorted(t for t in group if t not in delta_set)
+                if base_tids:
+                    # the base is clean: adopt its RHS values
+                    base_tid = base_tids[0]
+                    if not plan.lhs_matches(base_tid):
+                        continue
+                    for attribute, _position, column in plan.variable_rhs:
+                        codes, strings = column.codes, column.strings
+                        if strings[codes[tid]] != strings[codes[base_tid]]:
+                            relation.update(tid, attribute, column.value_of(codes[base_tid]))
+                            changed = True
+                else:
+                    changed |= self._equalize_delta_group_codes(
+                        plan, sorted(t for t in group if t != tid) + [tid])
+        return changed
+
+    def _equalize_delta_group_codes(self, plan: RepairPlan, tids: list[int]) -> bool:
+        relation = self._relation
+        live = [tid for tid in tids
+                if tid in relation and plan.lhs_matches(tid)]
+        if len(live) < 2:
+            return False
+        changed = False
+        for attribute, _position, column in plan.variable_rhs:
+            codes, strings = column.codes, column.strings
+            cells = [(tid, codes[tid]) for tid in live]
+            if len({strings[code] for _, code in cells}) <= 1:
+                continue
+            target_code, _ = self._cost_model.cheapest_target_code(attribute, column, cells)
+            target_str = strings[target_code]
+            target_value = column.value_of(target_code)
+            for tid, code in cells:
+                if strings[code] != target_str:
+                    relation.update(tid, attribute, target_value)
+                    changed = True
+        return changed
+
+    # -- per-CFD repair on rows (the retained legacy path) -----------------------
 
     def _repair_cfd(self, cfd: CFD, delta: list[int], delta_set: set[int]) -> bool:
         changed = False
-        index = HashIndex(self._relation, list(cfd.lhs))
+        index = HashIndex(self._relation, list(cfd.lhs), use_columns=False)
         for pattern in cfd.tableau:
             constant_rhs = [a for a in cfd.rhs if pattern.is_constant_on(a)]
             variable_rhs = [a for a in cfd.rhs if not pattern.is_constant_on(a)]
@@ -100,7 +185,7 @@ class IncRepair:
                     continue
 
                 key = index.key_of(row)
-                if any(code == NULL_CODE for code in key):
+                if any(is_null(value) for value in key):
                     continue
                 group = index.bucket_view(key)
                 base_tids = sorted(t for t in group if t not in delta_set)
@@ -154,5 +239,8 @@ class IncRepair:
         return changes
 
     def _delta_clean(self, delta_set: set[int]) -> bool:
-        report = BatchCFDDetector(self._relation, self._cfds).detect()
+        report = BatchCFDDetector(self._relation, self._cfds,
+                                  use_columns=self._use_columns,
+                                  engine=self._engine_name,
+                                  workers=self._workers).detect()
         return not (report.violating_tids() & delta_set)

@@ -10,8 +10,11 @@ contains one CFD per line in the textual syntax of
 :mod:`repro.constraints.parse` (blank lines and ``#`` comments allowed).
 The tool prints the violation report; with ``--repair`` it also computes a
 repair and writes the repaired relation to ``OUT.csv``.  ``--engine`` /
-``--workers`` route detection through the chunked execution engine
-(:mod:`repro.engine`); reports are identical, only execution changes.
+``--workers`` route detection — and every repair pass's inner detection
+loop — through the chunked execution engine (:mod:`repro.engine`);
+reports and repairs are identical, only execution changes.  The
+``REPRO_ENGINE`` / ``REPRO_WORKERS`` environment variables provide the
+same defaults process-wide.
 """
 
 from __future__ import annotations
@@ -36,9 +39,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--relation-name", default=None,
                         help="relation name used in the CFDs (default: the CSV file stem)")
     parser.add_argument("--engine", choices=ENGINES, default=None,
-                        help="detection engine: 'sequential' (one pass, the default), "
+                        help="execution engine for detection and repair: "
+                             "'sequential' (one pass, the default), "
                              "'serial' (chunked, in-process) or 'parallel' "
-                             "(chunked, multiprocessing); reports are identical")
+                             "(chunked, multiprocessing); results are identical")
     parser.add_argument("--workers", type=int, default=None, metavar="N",
                         help="worker processes for the parallel engine "
                              "(default: the CPU count; implies --engine parallel "

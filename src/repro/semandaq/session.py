@@ -43,12 +43,14 @@ class SemandaqSession:
     """An interactive constraint-based cleaning session over a database.
 
     ``engine=``/``workers=`` select the chunked execution engine for
-    detection (see :mod:`repro.engine`): when either is given, CFD
-    detection switches from the SQL-generation path to the direct
-    columnar detector running on the engine, and CIND detection runs its
-    chunked anti-join.  Without them detection behaves as before (the
-    ``REPRO_ENGINE`` environment variable still reaches the underlying
-    detectors as a process-wide default).
+    detection *and* repair (see :mod:`repro.engine`): when either is
+    given, CFD detection switches from the SQL-generation path to the
+    direct columnar detector running on the engine, CIND detection runs
+    its chunked anti-join, and :meth:`propose_repair` /
+    :meth:`apply_repair` route every repair pass's inner detection loop
+    through the same engine.  Without them everything behaves as before
+    (the ``REPRO_ENGINE`` environment variable still reaches the
+    underlying detectors and repairs as a process-wide default).
     """
 
     def __init__(self, database: Database | Relation,
@@ -179,7 +181,8 @@ class SemandaqSession:
                 if cfd.relation_name.lower() == relation.name.lower()]
         if not cfds:
             raise ReproError(f"no CFDs registered for relation {relation.name!r}")
-        repair = BatchRepair(relation, cfds, cost_model=self._cost_model).repair()
+        repair = BatchRepair(relation, cfds, cost_model=self._cost_model,
+                             engine=self._engine, workers=self._workers).repair()
         self._last_repair[relation.name.lower()] = repair
         return repair
 

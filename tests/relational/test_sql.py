@@ -313,3 +313,81 @@ class TestCodeSetFastPath:
         result = engine.query(
             "SELECT phn FROM customer WHERE city = 'nyc' AND LENGTH(phn) = 4")
         assert [r["phn"] for r in result] == ["4444", "5555"]
+
+
+class TestCodeSetPushdownExtensions:
+    """IN lists and != string conjuncts ride the same dictionary fast path."""
+
+    def _filters(self, database, sql):
+        from repro.relational.sql.executor import _FromPlanner
+        statement = parse_sql(sql)
+        planner = _FromPlanner(database, statement)
+        table = statement.tables[0]
+        conjuncts = [statement.where] if statement.where is not None else []
+        return planner._split_code_filters(table, conjuncts, True)
+
+    def test_in_list_fast_path_engages(self, database):
+        filters, rest = self._filters(
+            database, "SELECT phn FROM customer WHERE city IN ('edi', 'ldn')")
+        assert len(filters) == 1 and not rest
+        _, allowed = filters[0]
+        assert len(allowed) == 2  # both literals are interned
+
+    def test_not_equal_fast_path_engages(self, database):
+        filters, rest = self._filters(
+            database, "SELECT phn FROM customer WHERE city != 'edi'")
+        assert len(filters) == 1 and not rest
+        _, allowed = filters[0]
+        assert allowed  # the complement over the dictionary is non-empty
+
+    def test_in_list_rows_and_order(self, engine):
+        result = engine.query(
+            "SELECT phn FROM customer WHERE city IN ('edi', 'ldn')")
+        assert [r["phn"] for r in result] == ["1111", "2222", "3333"]
+
+    def test_in_list_with_unseen_member(self, engine):
+        result = engine.query(
+            "SELECT phn FROM customer WHERE city IN ('zzz', 'mh')")
+        assert [r["phn"] for r in result] == ["4444"]
+
+    def test_not_equal_excludes_match_and_nulls(self, engine):
+        # NULL street must be excluded (NULL != 'x' is UNKNOWN), like the
+        # residual path
+        result = engine.query("SELECT phn FROM customer WHERE street != 'mayfield'")
+        assert [r["phn"] for r in result] == ["3333", "4444", "4444"]
+
+    def test_not_equal_matches_residual_evaluation(self, engine):
+        fast = engine.query("SELECT t.* FROM customer t WHERE t.city != 'nyc'")
+        # LOWER() around the column defeats the fast path: same rows expected
+        slow = engine.query("SELECT t.* FROM customer t WHERE LOWER(t.city) != 'nyc'")
+        assert [tuple(r.values) for r in fast] == [tuple(r.values) for r in slow]
+
+    def test_diamond_operator(self, engine):
+        fast = engine.query("SELECT phn FROM customer WHERE city <> 'edi'")
+        assert [r["phn"] for r in fast] == ["3333", "4444", "4444", "5555"]
+
+    def test_not_in_list(self, engine):
+        result = engine.query(
+            "SELECT phn FROM customer WHERE city NOT IN ('edi', 'nyc')")
+        assert [r["phn"] for r in result] == ["3333", "4444"]
+
+    def test_not_in_matches_residual_evaluation(self, engine):
+        fast = engine.query(
+            "SELECT t.phn AS phn FROM customer t WHERE t.city NOT IN ('edi', 'ldn')")
+        slow = engine.query(
+            "SELECT t.phn AS phn FROM customer t "
+            "WHERE LOWER(t.city) NOT IN ('edi', 'ldn')")
+        assert [r["phn"] for r in fast] == [r["phn"] for r in slow]
+
+    def test_numeric_in_stays_on_residual_path(self, database, engine):
+        filters, rest = self._filters(
+            database, "SELECT phn FROM orders WHERE amount IN (10, 30)")
+        assert not filters and len(rest) == 1
+        result = engine.query("SELECT phn FROM orders WHERE amount IN (10, 30)")
+        assert [r["phn"] for r in result] == ["1111", "4444"]
+
+    def test_in_over_joins_uses_qualifier(self, engine):
+        result = engine.query(
+            "SELECT o.amount AS amount FROM customer c, orders o "
+            "WHERE c.phn = o.phn AND c.city IN ('edi') ORDER BY amount")
+        assert [r["amount"] for r in result] == [10, 20]

@@ -5,9 +5,12 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import RepairError
+from repro.relational.columns import NULL_CODE
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
 from repro.relational.types import NULL
 from repro.repair.cost import CostModel
-from repro.repair.eqclass import EquivalenceClasses
+from repro.repair.eqclass import CodeEquivalenceClasses, EquivalenceClasses
 
 
 class TestCostModel:
@@ -67,7 +70,167 @@ class TestCostModel:
             assert cost <= model.target_cost(cells, candidate) + 1e-9
 
 
+def _column(values, attribute="x"):
+    """A dictionary-encoded column over one STRING attribute."""
+    schema = RelationSchema("r", [Attribute(attribute)])
+    relation = Relation.from_rows(schema, [[v] for v in values])
+    return relation.columns.column(attribute)
+
+
+class TestCodeLevelCost:
+    def test_code_distance_matches_value_distance(self):
+        model = CostModel()
+        column = _column(["edi", "ldn", NULL])
+        a, b = column.code_of("edi"), column.code_of("ldn")
+        assert model.code_distance(column, a, b) == model.distance("edi", "ldn")
+        assert model.code_distance(column, a, a) == 0.0
+        assert model.code_distance(column, NULL_CODE, NULL_CODE) == 0.0
+        assert model.code_distance(column, a, NULL_CODE) == model.distance("edi", NULL)
+
+    def test_code_distance_is_memoised_per_column(self):
+        calls = []
+
+        def counting(left, right):
+            calls.append((left, right))
+            return 0.5
+
+        model = CostModel(distance=counting)
+        column = _column(["a", "b"])
+        a, b = column.code_of("a"), column.code_of("b")
+        assert model.code_distance(column, a, b) == 0.5
+        assert model.code_distance(column, a, b) == 0.5
+        assert len(calls) == 1  # second call hits the column's memo
+
+    def test_custom_distances_do_not_share_memos(self):
+        column = _column(["a", "b"])
+        a, b = column.code_of("a"), column.code_of("b")
+        first = CostModel(distance=lambda left, right: 0.25)
+        second = CostModel(distance=lambda left, right: 0.75)
+        assert first.code_distance(column, a, b) == 0.25
+        assert second.code_distance(column, a, b) == 0.75
+
+    def test_same_function_shares_one_memo(self):
+        calls = []
+
+        def shared(left, right):
+            calls.append((left, right))
+            return 0.5
+
+        column = _column(["a", "b"])
+        a, b = column.code_of("a"), column.code_of("b")
+        assert CostModel(distance=shared).code_distance(column, a, b) == 0.5
+        assert CostModel(distance=shared).code_distance(column, a, b) == 0.5
+        assert len(calls) == 1  # second model reuses the first model's memo
+        assert len(column._distances) == 1  # throwaway models do not grow the column
+
+    def test_subclass_override_does_not_poison_default_memo(self):
+        class Overridden(CostModel):
+            def distance(self, old_value, new_value):
+                return 0.9
+
+        column = _column(["edi", "ldn"])
+        a, b = column.code_of("edi"), column.code_of("ldn")
+        assert Overridden().code_distance(column, a, b) == 0.9
+        model = CostModel()
+        assert model.code_distance(column, a, b) == model.distance("edi", "ldn")
+
+    def test_memo_cleared_on_rebuild(self):
+        model = CostModel(distance=lambda left, right: 0.5)
+        column = _column(["a", "b"])
+        a, b = column.code_of("a"), column.code_of("b")
+        model.code_distance(column, a, b)
+        cache = column.distance_cache(model._distance_key)
+        assert cache
+        column._reset()
+        assert not cache  # cleared in place: held references stay valid
+
+    def test_cheapest_target_code_agrees_with_value_face(self):
+        model = CostModel()
+        values = ["edi", "edi", "ldn", "mh", "ldn"]
+        column = _column(values)
+        cells = [(tid, "x", value) for tid, value in enumerate(values)]
+        code_cells = [(tid, column.code_of(value)) for tid, value in enumerate(values)]
+        target, cost = model.cheapest_target(cells)
+        target_code, code_cost = model.cheapest_target_code("x", column, code_cells)
+        assert column.value_of(target_code) == target
+        assert code_cost == cost
+
+    def test_cheapest_target_code_respects_weights(self):
+        model = CostModel()
+        model.set_weight(2, "x", 10.0)
+        column = _column(["edi", "edi", "ldn"])
+        cells = [(0, column.code_of("edi")), (1, column.code_of("edi")),
+                 (2, column.code_of("ldn"))]
+        target_code, _ = model.cheapest_target_code("x", column, cells)
+        assert column.value_of(target_code) == "ldn"
+
+    def test_cheapest_target_code_with_candidates(self):
+        model = CostModel()
+        column = _column(["edi", "mh"])
+        cells = [(0, column.code_of("edi"))]
+        target_code, _ = model.cheapest_target_code(
+            "x", column, cells, candidates=[column.code_of("mh")])
+        assert column.value_of(target_code) == "mh"
+
+    def test_cheapest_target_code_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().cheapest_target_code("x", _column(["a"]), [])
+
+    @given(st.lists(st.sampled_from(["a", "b", "c", NULL]), min_size=1, max_size=20))
+    def test_code_face_matches_value_face(self, values):
+        model = CostModel()
+        column = _column(values)
+        cells = [(tid, "x", value) for tid, value in enumerate(values)]
+        code_cells = [(tid, column.codes[tid]) for tid in range(len(values))]
+        target, cost = model.cheapest_target(cells)
+        target_code, code_cost = model.cheapest_target_code("x", column, code_cells)
+        assert code_cost == cost
+        assert str(column.value_of(target_code)) == str(target)
+
+
+class TestCodeEquivalenceClasses:
+    def test_cells_are_position_pairs(self):
+        classes = CodeEquivalenceClasses()
+        root = classes.add((0, 3))
+        assert classes.find((0, 3)) == root
+        assert classes.cells() == [(0, 3)]
+
+    def test_pin_codes_and_conflict(self):
+        classes = CodeEquivalenceClasses()
+        classes.pin((0, 1), 7)
+        assert classes.pinned_value((0, 1)) == 7
+        with pytest.raises(RepairError):
+            classes.pin((0, 1), 8)
+
+    def test_pin_survives_union(self):
+        classes = CodeEquivalenceClasses()
+        classes.pin((0, 1), 7)
+        classes.union((0, 1), (4, 1))
+        assert classes.pinned_value((4, 1)) == 7
+
+    def test_union_of_conflicting_codes_rejected(self):
+        classes = CodeEquivalenceClasses()
+        classes.pin((0, 1), 7)
+        classes.pin((1, 1), 8)
+        with pytest.raises(RepairError):
+            classes.union((0, 1), (1, 1))
+
+    def test_repin_same_code_allowed(self):
+        classes = CodeEquivalenceClasses()
+        classes.pin((0, 1), 7)
+        classes.pin((0, 1), 7)
+        assert classes.pinned_value((0, 1)) == 7
+
+
 class TestEquivalenceClasses:
+    def test_attribute_names_canonical_at_the_boundary(self):
+        classes = EquivalenceClasses()
+        classes.add((0, "CiTy"))
+        assert classes.cells() == [(0, "city")]  # stored canonical
+        classes.union((0, "CITY"), (1, "City"))
+        assert classes.same_class((0, "city"), (1, "CITY"))
+        assert len(classes) == 2  # no duplicate cells for case variants
+
     def test_add_and_find(self):
         classes = EquivalenceClasses()
         root = classes.add((0, "city"))

@@ -1,0 +1,182 @@
+"""Randomized parity: code-path repairs are byte-identical to the string path.
+
+``BatchRepair``/``IncRepair`` run on dictionary codes by default;
+``use_columns=False`` keeps the original row/string implementation.  These
+tests pin down that the two produce *identical* :class:`Repair` results —
+same ``CellChange`` list (values included), same cost, same pass count,
+same convergence flag — across randomized dirty E1-style workloads,
+interacting CFDs, weighted cost models and every execution engine.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.cfd import CFD
+from repro.datagen.customer import CustomerGenerator
+from repro.datagen.noise import inject_noise
+from repro.detection.cfd_detect import detect_cfd_violations
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+from repro.repair.batch_repair import BatchRepair, Repair
+from repro.repair.cost import CostModel
+from repro.repair.inc_repair import IncRepair
+
+
+def assert_repairs_identical(code: Repair, strings: Repair) -> None:
+    assert code.changes == strings.changes
+    assert code.cost == strings.cost
+    assert code.passes == strings.passes
+    assert code.converged == strings.converged
+
+
+def _customer_workload(size: int, rate: float = 0.06, seed: int = 11):
+    generator = CustomerGenerator(seed=seed)
+    clean = generator.generate(size)
+    dirty = inject_noise(clean, rate=rate,
+                         attributes=["street", "city"], seed=seed + 1).dirty
+    return dirty, generator.canonical_cfds()
+
+
+class TestBatchRepairParity:
+    def test_customer_workload(self):
+        dirty, cfds = _customer_workload(300)
+        code = BatchRepair(dirty, cfds, use_columns=True).repair()
+        strings = BatchRepair(dirty, cfds, use_columns=False).repair()
+        assert code.changes  # the workload is actually dirty
+        assert_repairs_identical(code, strings)
+        assert detect_cfd_violations(code.relation, cfds).is_clean()
+
+    def test_arbitrary_ordering(self):
+        dirty, cfds = _customer_workload(200, seed=23)
+        code = BatchRepair(dirty, cfds, use_columns=True, ordering="arbitrary").repair()
+        strings = BatchRepair(dirty, cfds, use_columns=False, ordering="arbitrary").repair()
+        assert_repairs_identical(code, strings)
+
+    def test_weighted_cost_model(self):
+        dirty, cfds = _customer_workload(200, seed=5)
+        weights = {(tid, "street"): 8.0 for tid in list(dirty.tids())[::3]}
+        models = []
+        for _ in range(2):
+            model = CostModel()
+            model.set_weights(weights)
+            models.append(model)
+        code = BatchRepair(dirty, cfds, cost_model=models[0], use_columns=True).repair()
+        strings = BatchRepair(dirty, cfds, cost_model=models[1], use_columns=False).repair()
+        assert_repairs_identical(code, strings)
+
+    @pytest.mark.parametrize("engine,workers", [("serial", None), ("parallel", 2)])
+    def test_chunked_engines(self, engine, workers):
+        dirty, cfds = _customer_workload(250, seed=31)
+        baseline = BatchRepair(dirty, cfds, use_columns=False).repair()
+        chunked = BatchRepair(dirty, cfds, use_columns=True,
+                              engine=engine, workers=workers).repair()
+        assert_repairs_identical(chunked, baseline)
+
+    def test_parallel_engine_across_real_processes(self, monkeypatch):
+        # force the multiprocessing backend to actually cross process
+        # boundaries on a small workload (every pass re-broadcasts state)
+        monkeypatch.setenv("REPRO_PARALLEL_THRESHOLD", "0")
+        dirty, cfds = _customer_workload(120, seed=43)
+        baseline = BatchRepair(dirty, cfds, use_columns=False).repair()
+        chunked = BatchRepair(dirty, cfds, use_columns=True,
+                              engine="parallel", workers=2).repair()
+        assert_repairs_identical(chunked, baseline)
+
+    def test_conflicting_constants_break_lhs_identically(self):
+        schema = RelationSchema("r", [Attribute("a"), Attribute("b")])
+        relation = Relation.from_dicts(schema, [{"a": "k", "b": "x"},
+                                                {"a": "k", "b": "y"}])
+        conflicting = [
+            CFD.single("r", ["a"], ["b"], {"a": "k", "b": "v1"}),
+            CFD.single("r", ["a"], ["b"], {"a": "k", "b": "v2"}),
+        ]
+        code = BatchRepair(relation, conflicting, use_columns=True).repair()
+        strings = BatchRepair(relation, conflicting, use_columns=False).repair()
+        assert_repairs_identical(code, strings)
+        assert detect_cfd_violations(code.relation, conflicting).is_clean()
+
+    values = st.sampled_from(["a", "b", "c"])
+    rows = st.lists(st.tuples(values, values, values), min_size=0, max_size=25)
+
+    @given(rows)
+    @settings(max_examples=25, deadline=None)
+    def test_randomized_interacting_cfds(self, data):
+        # cascading CFDs ([x]->[y] feeds [y]->[z]) plus a constant pattern:
+        # the shape that exercises pins, group equalization and multi-pass
+        # fixpoints together
+        schema = RelationSchema("r", [Attribute("x"), Attribute("y"), Attribute("z")])
+        relation = Relation.from_rows(schema, data)
+        cfds = [CFD.single("r", ["x"], ["y"]),
+                CFD.single("r", ["y"], ["z"]),
+                CFD.single("r", ["x"], ["z"], {"x": "a", "z": "c"})]
+        code = BatchRepair(relation, cfds, use_columns=True).repair()
+        strings = BatchRepair(relation, cfds, use_columns=False).repair()
+        assert_repairs_identical(code, strings)
+
+    @given(rows)
+    @settings(max_examples=15, deadline=None)
+    def test_randomized_with_serial_engine(self, data):
+        schema = RelationSchema("r", [Attribute("x"), Attribute("y"), Attribute("z")])
+        relation = Relation.from_rows(schema, data)
+        cfds = [CFD.single("r", ["x"], ["y"]),
+                CFD.single("r", ["x"], ["z"], {"x": "a", "z": "c"})]
+        chunked = BatchRepair(relation, cfds, use_columns=True, engine="serial").repair()
+        strings = BatchRepair(relation, cfds, use_columns=False).repair()
+        assert_repairs_identical(chunked, strings)
+
+
+class TestIncRepairParity:
+    def _delta_workload(self, base_size=150, delta_size=25, seed=9):
+        generator = CustomerGenerator(seed=seed)
+        clean = generator.generate(base_size + delta_size)
+        cfds = generator.canonical_cfds()
+        dirty = inject_noise(clean, rate=0.08,
+                             attributes=["street", "city"], seed=seed + 1).dirty
+        tids = dirty.tids()
+        base_tids = set(tids[:base_size])
+        base_only = dirty.filter(lambda t: t.tid in base_tids, name="customer")
+        repaired_base = BatchRepair(base_only, cfds).repair().relation
+        combined = repaired_base.copy(name="customer")
+        delta_tids = [combined.insert(list(dirty.tuple(tid).values))
+                      for tid in tids[base_size:]]
+        return combined, cfds, delta_tids
+
+    def test_delta_repair_identical(self):
+        combined, cfds, delta_tids = self._delta_workload()
+        code_relation = combined.copy(name=combined.name)
+        string_relation = combined.copy(name=combined.name)
+        code = IncRepair(code_relation, cfds, use_columns=True).repair_delta(delta_tids)
+        strings = IncRepair(string_relation, cfds,
+                            use_columns=False).repair_delta(delta_tids)
+        assert code.changes  # the delta is actually dirty
+        assert_repairs_identical(code, strings)
+        assert code_relation.to_dicts() == string_relation.to_dicts()
+
+    def test_delta_group_equalization_identical(self):
+        # several delta tuples share an unseen LHS key and disagree: the
+        # cost-minimal equalization must pick the same target on both paths
+        combined, cfds, _ = self._delta_workload(base_size=60, delta_size=0, seed=17)
+        fresh = [{"cc": "44", "ac": "999", "phn": str(7000 + i), "name": f"n{i}",
+                  "street": street, "city": "edi", "zip": "ZZ9"}
+                 for i, street in enumerate(["high st", "high st", "low st"])]
+        code_relation = combined.copy(name=combined.name)
+        string_relation = combined.copy(name=combined.name)
+        code_tids = [code_relation.insert_dict(row) for row in fresh]
+        string_tids = [string_relation.insert_dict(row) for row in fresh]
+        assert code_tids == string_tids
+        code = IncRepair(code_relation, cfds, use_columns=True).repair_delta(code_tids)
+        strings = IncRepair(string_relation, cfds,
+                            use_columns=False).repair_delta(string_tids)
+        assert_repairs_identical(code, strings)
+
+    @pytest.mark.parametrize("engine,workers", [("serial", None), ("parallel", 2)])
+    def test_engines_identical(self, engine, workers):
+        combined, cfds, delta_tids = self._delta_workload(seed=29)
+        code_relation = combined.copy(name=combined.name)
+        string_relation = combined.copy(name=combined.name)
+        code = IncRepair(code_relation, cfds, use_columns=True,
+                         engine=engine, workers=workers).repair_delta(delta_tids)
+        strings = IncRepair(string_relation, cfds,
+                            use_columns=False).repair_delta(delta_tids)
+        assert_repairs_identical(code, strings)

@@ -118,6 +118,22 @@ class TestSemandaqSession:
         assert detect_cfd_violations(
             session.database.relation("customer"), generator.canonical_cfds()).is_clean()
 
+    def test_engine_knob_reaches_repair(self):
+        # a session created with engine= routes repair passes through the
+        # chunked engine; the proposed repair is identical to the default
+        generator = CustomerGenerator(seed=19)
+        clean = generator.generate(150)
+        dirty = inject_noise(clean, rate=0.05, attributes=["street", "city"], seed=3).dirty
+        baseline = SemandaqSession(dirty.copy(name="customer"))
+        chunked = SemandaqSession(dirty.copy(name="customer"), engine="serial")
+        for session in (baseline, chunked):
+            session.register_cfds(generator.canonical_cfds())
+        expected = baseline.propose_repair("customer")
+        proposed = chunked.propose_repair("customer")
+        assert proposed.changes == expected.changes
+        assert proposed.cost == expected.cost
+        assert proposed.passes == expected.passes
+
 
 class TestSemandaqCLI:
     def _write_inputs(self, tmp_path):
