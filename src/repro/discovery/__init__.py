@@ -15,13 +15,22 @@ This package discovers constraints from (reasonably clean) data:
   globally into variable CFDs with constant conditioning patterns.
 """
 
-from repro.discovery.partitions import Partition, partition_of
+from repro.discovery.partitions import (
+    Partition,
+    PartitionCache,
+    PartitionProvider,
+    partition_cache,
+    partition_of,
+)
 from repro.discovery.fd_discovery import FDDiscovery, discover_fds
 from repro.discovery.itemsets import ItemsetMiner, Itemset
 from repro.discovery.cfd_discovery import CFDDiscovery, discover_constant_cfds, discover_cfds
 
 __all__ = [
     "Partition",
+    "PartitionCache",
+    "PartitionProvider",
+    "partition_cache",
     "partition_of",
     "FDDiscovery",
     "discover_fds",

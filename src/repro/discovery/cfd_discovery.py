@@ -17,29 +17,37 @@ the tutorial mentions (§2):
   ``(X → A, (B=b, _ ... ‖ _))`` is emitted.  This is a pragmatic subset of
   full CTANE (which explores arbitrary pattern tableaux); DESIGN.md calls
   out the simplification.
+
+Both procedures run on the columnar substrate by default: candidate FDs
+are validated on cached stripped partitions
+(:class:`~repro.discovery.partitions.PartitionProvider`, optionally
+chunk-parallel via ``engine=``/``workers=``), and itemset mining reads
+dictionary code arrays.  ``use_columns=False`` keeps the value-level
+reference path; the discovered CFD lists are identical either way.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.constraints.cfd import CFD
 from repro.constraints.tableau import PatternTuple
-from repro.discovery.fd_discovery import FDDiscovery
 from repro.discovery.itemsets import ItemsetMiner
-from repro.discovery.partitions import partition_of
+from repro.discovery.partitions import PartitionProvider
 from repro.errors import DiscoveryError
 from repro.relational.columns import NULL_CODE
 from repro.relational.index import HashIndex
 from repro.relational.relation import Relation
+from repro.relational.types import is_null
 
 
 class CFDDiscovery:
     """Discovers constant and variable CFDs from a relation."""
 
     def __init__(self, relation: Relation, min_support: int = 3,
-                 max_lhs_size: int = 2) -> None:
+                 max_lhs_size: int = 2, use_columns: bool = True,
+                 engine: str | None = None, workers: int | None = None) -> None:
         if min_support < 1:
             raise DiscoveryError("min_support must be at least 1")
         if max_lhs_size < 1:
@@ -48,13 +56,22 @@ class CFDDiscovery:
         self._min_support = min_support
         self._max_lhs_size = max_lhs_size
         self._attributes = [a.lower() for a in relation.schema.attribute_names]
+        self._use_columns = use_columns
+        self._provider = PartitionProvider(relation, use_columns=use_columns,
+                                           engine=engine, workers=workers)
+        # columnar path: conditioning groups per attribute, computed once
+        # per relation version (refinement retries every failed FD whose
+        # LHS contains the attribute against the same groups)
+        self._groups_version = -1
+        self._groups_by_attribute: dict[str, list[tuple[Any, set[int]]]] = {}
 
     # -- constant CFDs (CFDMiner) --------------------------------------------------
 
     def discover_constant_cfds(self) -> list[CFD]:
         """Constant CFDs with support at least ``min_support``."""
         miner = ItemsetMiner(self._relation, min_support=self._min_support,
-                             max_size=self._max_lhs_size)
+                             max_size=self._max_lhs_size,
+                             use_columns=self._use_columns)
         discovered: list[CFD] = []
         seen: set[tuple] = set()
         for itemset in miner.free_itemsets():
@@ -107,51 +124,108 @@ class CFDDiscovery:
         return candidates
 
     def _fd_holds(self, lhs: frozenset[str], rhs: str) -> bool:
-        coarse = partition_of(self._relation, sorted(lhs))
-        fine = partition_of(self._relation, sorted(lhs | {rhs}))
+        coarse = self._provider.partition(lhs)
+        fine = self._provider.partition(lhs | {rhs})
         return coarse.refines_without_splitting(fine)
+
+    def _conditioning_groups(self, attribute: str) -> list[tuple[Any, list[int] | set[int]]]:
+        """Non-NULL ``(value, tids)`` groups of one attribute, scan order.
+
+        The columnar path reads a freshly built code-keyed
+        :class:`HashIndex`, decodes each group's representative value
+        once, and memoizes the groups per relation version (every failed
+        FD whose LHS contains the attribute conditions on the same
+        groups); the value path groups raw cell values row by row.  Both
+        yield the same groups in the same first-occurrence order.
+        """
+        if self._use_columns:
+            if self._groups_version != self._relation.version:
+                self._groups_by_attribute.clear()
+                self._groups_version = self._relation.version
+            groups = self._groups_by_attribute.get(attribute)
+            if groups is None:
+                index = HashIndex(self._relation, [attribute])
+                column = self._relation.columns.column(attribute)
+                groups = [(column.values[key[0]], tids)
+                          for key, tids in index.bucket_items()
+                          if key[0] != NULL_CODE]
+                self._groups_by_attribute[attribute] = groups
+            return groups
+        position = self._relation.schema.position(attribute)
+        buckets: dict[Any, list[int]] = {}
+        for tid, values in self._relation.rows_items():
+            value = values[position]
+            if is_null(value):
+                continue
+            buckets.setdefault(value, []).append(tid)
+        return list(buckets.items())
 
     def _refine(self, lhs: frozenset[str], rhs: str, offset: int) -> list[CFD]:
         """Condition the failed FD on constants of one LHS attribute."""
         refined: list[CFD] = []
         lhs_list = sorted(lhs)
         for conditioning in lhs_list:
-            index = HashIndex(self._relation, [conditioning])
-            column = self._relation.columns.column(conditioning)
-            for key, tids in index.bucket_items():
-                code = key[0]
-                if code == NULL_CODE or len(tids) < self._min_support:
+            for value, tids in self._conditioning_groups(conditioning):
+                if len(tids) < self._min_support:
                     continue
                 if self._holds_on_subset(lhs_list, rhs, tids):
                     refined.append(CFD(
                         self._relation.name, lhs_list, [rhs],
-                        [PatternTuple({conditioning: column.values[code]})],
+                        [PatternTuple({conditioning: value})],
                         name=f"cond_{offset + len(refined)}"))
         return refined
 
     def _holds_on_subset(self, lhs: Sequence[str], rhs: str,
-                         tids: set[int] | frozenset[int]) -> bool:
-        store = self._relation.columns
+                         tids: set[int] | frozenset[int] | list[int]) -> bool:
         positions = self._relation.schema.positions(lhs)
-        arrays = store.code_arrays(positions)
-        rhs_codes = store.column(rhs).codes
-        seen: dict[tuple[int, ...], int] = {}
+        rhs_position = self._relation.schema.position(rhs)
+        if self._use_columns:
+            store = self._relation.columns
+            arrays = store.code_arrays(positions)
+            rhs_codes = store.column_at(rhs_position).codes
+            seen: dict[Any, int] = {}
+            if len(arrays) == 1:
+                codes = arrays[0]
+                for tid in tids:
+                    rhs_code = rhs_codes[tid]
+                    previous = seen.setdefault(codes[tid], rhs_code)
+                    if previous != rhs_code:
+                        return False
+                return True
+            for tid in tids:
+                key = tuple(codes[tid] for codes in arrays)
+                rhs_code = rhs_codes[tid]
+                previous = seen.setdefault(key, rhs_code)
+                if previous != rhs_code:
+                    return False
+            return True
+        rows = self._relation
+        seen_values: dict[tuple[Any, ...], Any] = {}
         for tid in tids:
-            key = tuple(codes[tid] for codes in arrays)
-            rhs_code = rhs_codes[tid]
-            previous = seen.setdefault(key, rhs_code)
-            if previous != rhs_code:
+            row = rows.tuple(tid)
+            key = tuple(row.at(p) for p in positions)
+            rhs_value = row.at(rhs_position)
+            previous = seen_values.setdefault(key, rhs_value)
+            if previous != rhs_value:
                 return False
         return True
 
 
 def discover_constant_cfds(relation: Relation, min_support: int = 3,
-                           max_lhs_size: int = 2) -> list[CFD]:
+                           max_lhs_size: int = 2, use_columns: bool = True,
+                           engine: str | None = None,
+                           workers: int | None = None) -> list[CFD]:
     """Convenience wrapper: constant CFDs only."""
-    return CFDDiscovery(relation, min_support, max_lhs_size).discover_constant_cfds()
+    return CFDDiscovery(relation, min_support, max_lhs_size,
+                        use_columns=use_columns, engine=engine,
+                        workers=workers).discover_constant_cfds()
 
 
 def discover_cfds(relation: Relation, min_support: int = 3,
-                  max_lhs_size: int = 2) -> list[CFD]:
+                  max_lhs_size: int = 2, use_columns: bool = True,
+                  engine: str | None = None,
+                  workers: int | None = None) -> list[CFD]:
     """Convenience wrapper: constant plus variable CFDs."""
-    return CFDDiscovery(relation, min_support, max_lhs_size).discover()
+    return CFDDiscovery(relation, min_support, max_lhs_size,
+                        use_columns=use_columns, engine=engine,
+                        workers=workers).discover()

@@ -2,9 +2,18 @@
 
 The search walks the lattice of attribute sets level by level.  At level
 ``k`` every candidate set ``X`` of size ``k`` is tested: for each ``A ∈ X``
-the FD ``X \\ {A} → A`` holds iff the stripped partitions of ``X \\ {A}``
-and ``X`` have the same error.  Minimality pruning: once ``Y → A`` is
-emitted, no superset of ``Y`` is reported for the same RHS.
+the FD ``X \\ {A} → A`` holds iff the stripped partition of ``X \\ {A}``
+maps into the partition of ``X`` without splitting a group.  Minimality
+pruning: once ``Y → A`` is emitted, no superset of ``Y`` is reported for
+the same RHS.
+
+Partitions come from a :class:`~repro.discovery.partitions.PartitionProvider`:
+base partitions are computed from dictionary code arrays (or raw rows
+under ``use_columns=False``), higher lattice levels are composed from
+cached lower ones via partition products, and ``engine=``/``workers=``
+route the base scans through the chunked execution engine
+(:mod:`repro.engine`) — the discovered FDs and keys are identical either
+way.
 
 An optional ``max_lhs_size`` bounds the level (the experiments only need
 small left-hand sides), and ``approximate_error`` allows *approximate* FDs
@@ -15,10 +24,9 @@ discovery on dirty data requires.
 from __future__ import annotations
 
 import itertools
-from typing import Sequence
 
 from repro.constraints.fd import FunctionalDependency
-from repro.discovery.partitions import Partition, partition_of
+from repro.discovery.partitions import Partition, PartitionProvider
 from repro.errors import DiscoveryError
 from repro.relational.relation import Relation
 
@@ -27,7 +35,8 @@ class FDDiscovery:
     """Discovers minimal FDs of a relation."""
 
     def __init__(self, relation: Relation, max_lhs_size: int = 3,
-                 approximate_error: float = 0.0) -> None:
+                 approximate_error: float = 0.0, use_columns: bool = True,
+                 engine: str | None = None, workers: int | None = None) -> None:
         if max_lhs_size < 1:
             raise DiscoveryError("max_lhs_size must be at least 1")
         if not 0.0 <= approximate_error < 1.0:
@@ -36,14 +45,13 @@ class FDDiscovery:
         self._attributes = [a.lower() for a in relation.schema.attribute_names]
         self._max_lhs_size = min(max_lhs_size, len(self._attributes) - 1)
         self._approximate_error = approximate_error
-        self._partitions: dict[frozenset[str], Partition] = {}
+        self._provider = PartitionProvider(relation, use_columns=use_columns,
+                                           engine=engine, workers=workers)
 
     # -- partitions --------------------------------------------------------------
 
     def _partition(self, attributes: frozenset[str]) -> Partition:
-        if attributes not in self._partitions:
-            self._partitions[attributes] = partition_of(self._relation, sorted(attributes))
-        return self._partitions[attributes]
+        return self._provider.partition(attributes)
 
     def _holds(self, lhs: frozenset[str], rhs: str) -> bool:
         coarse = self._partition(lhs)
@@ -91,7 +99,11 @@ class FDDiscovery:
 
 
 def discover_fds(relation: Relation, max_lhs_size: int = 3,
-                 approximate_error: float = 0.0) -> list[FunctionalDependency]:
+                 approximate_error: float = 0.0, use_columns: bool = True,
+                 engine: str | None = None,
+                 workers: int | None = None) -> list[FunctionalDependency]:
     """Convenience wrapper around :class:`FDDiscovery`."""
     return FDDiscovery(relation, max_lhs_size=max_lhs_size,
-                       approximate_error=approximate_error).discover()
+                       approximate_error=approximate_error,
+                       use_columns=use_columns, engine=engine,
+                       workers=workers).discover()

@@ -5,35 +5,53 @@ by their ``X`` values; the *stripped* partition drops singleton groups
 (they can never witness an FD violation).  Two facts drive discovery:
 
 * the FD ``X → A`` holds iff the partition by ``X`` refines the partition
-  by ``X ∪ {A}`` without splitting any group — equivalently, iff the two
-  partitions have the same *error* (number of tuples minus number of
-  groups);
+  by ``X ∪ {A}`` without splitting any group;
 * the partition of ``X ∪ Y`` is the product of the partitions of ``X`` and
   ``Y``, so partitions for larger attribute sets are computed
   incrementally level by level.
 
-:func:`partition_of` groups tuple ids by dictionary codes from the
-relation's column store — a single pass of integer array reads, with no
-value hashing or stringification.  Single-attribute partitions (the base
-of every levelwise search) group by one bare integer.
+The representation is array-backed: a partition is a list of tid lists
+(singletons already stripped) plus a lazily built tid → group-id map.
+Products compose the group-id map of one operand with the group arrays of
+the other; refinement checks walk the group-id map linearly.  No
+frozensets are built anywhere on the hot path.
+
+:func:`partition_of` computes the base partitions.  On the columnar path
+(the default) it reads dictionary code arrays straight off the relation's
+column store — a single tombstone-aware pass of integer reads, with no
+value hashing or stringification.  ``use_columns=False`` selects the
+value-level twin (grouping raw projected rows), kept as the reference
+the parity tests compare against.
+
+:class:`PartitionProvider` is what the discovery algorithms use: it
+caches partitions per relation *version* (one shared
+:class:`PartitionCache` per relation, so FD and CFD discovery over the
+same data reuse each other's work), composes higher lattice levels from
+cached lower ones via :meth:`Partition.product`, and — when an
+``engine=`` is requested — computes base partitions chunk-parallel on
+:class:`~repro.engine.discover.ChunkedPartitionEngine`.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Iterable, Sequence
+import weakref
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.relational.relation import Relation
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.discover import ChunkedPartitionEngine
+
 
 class Partition:
-    """A stripped partition: groups of tuple ids (singletons removed)."""
+    """A stripped partition: array-backed groups of tuple ids (singletons dropped)."""
 
-    __slots__ = ("groups", "total_tuples")
+    __slots__ = ("groups", "total_tuples", "_group_ids")
 
-    def __init__(self, groups: Iterable[frozenset[int]], total_tuples: int) -> None:
-        self.groups = [frozenset(g) for g in groups if len(g) > 1]
+    def __init__(self, groups: Iterable[Sequence[int]], total_tuples: int) -> None:
+        self.groups: list[list[int]] = [list(g) for g in groups if len(g) > 1]
         self.total_tuples = total_tuples
+        self._group_ids: dict[int, int] | None = None
 
     @property
     def group_count(self) -> int:
@@ -45,42 +63,221 @@ class Partition:
         """``|stripped tuples| - |groups|``: 0 means X is a key (every group singleton)."""
         return sum(len(g) for g in self.groups) - len(self.groups)
 
+    def group_ids(self) -> dict[int, int]:
+        """The tid → group-index map over the stripped tuples (built once, cached).
+
+        Tids in singleton groups are absent — that is what makes the
+        refinement check and the product linear in the *stripped* sizes.
+        """
+        ids = self._group_ids
+        if ids is None:
+            ids = {}
+            for index, group in enumerate(self.groups):
+                for tid in group:
+                    ids[tid] = index
+            self._group_ids = ids
+        return ids
+
     def refines_without_splitting(self, finer: "Partition") -> bool:
         """Whether adding the extra attribute did not split any group.
 
         ``self`` is the partition by ``X``; *finer* the partition by
-        ``X ∪ {A}``.  The FD ``X → A`` holds iff the errors coincide.
+        ``X ∪ {A}``.  The FD ``X → A`` holds iff every group of ``self``
+        maps into a single group of *finer* — checked linearly against
+        the finer group-id map (a tid missing from the map is a finer
+        singleton, i.e. a split).
         """
-        return self.error == finer.error
+        finer_ids = finer.group_ids()
+        for group in self.groups:
+            target = finer_ids.get(group[0])
+            if target is None:
+                return False
+            for tid in group:
+                if finer_ids.get(tid) != target:
+                    return False
+        return True
 
     def product(self, other: "Partition") -> "Partition":
-        """The partition of the union of the two attribute sets."""
-        membership: dict[int, int] = {}
-        for index, group in enumerate(self.groups):
-            for tid in group:
-                membership[tid] = index
-        buckets: dict[tuple[int, int], set[int]] = defaultdict(set)
+        """The partition of the union of the two attribute sets.
+
+        Composes ``self``'s group-id map with ``other``'s group arrays:
+        each product group is the set of tids sharing both group ids.
+        Tids stripped from either operand are singletons in the product
+        and never materialise.
+        """
+        membership = self.group_ids()
+        buckets: dict[tuple[int, int], list[int]] = {}
         for index, group in enumerate(other.groups):
             for tid in group:
-                if tid in membership:
-                    buckets[(membership[tid], index)].add(tid)
+                own = membership.get(tid)
+                if own is None:
+                    continue
+                key = (own, index)
+                bucket = buckets.get(key)
+                if bucket is None:
+                    buckets[key] = [tid]
+                else:
+                    bucket.append(tid)
         return Partition(
-            (frozenset(b) for b in buckets.values() if len(b) > 1), self.total_tuples)
+            (b for b in buckets.values() if len(b) > 1), self.total_tuples)
 
     def __repr__(self) -> str:
         return f"Partition({self.group_count} groups, error={self.error})"
 
 
-def partition_of(relation: Relation, attributes: Sequence[str]) -> Partition:
-    """The stripped partition of *relation* by *attributes* (code-level grouping)."""
+def partition_of(relation: Relation, attributes: Sequence[str],
+                 use_columns: bool = True) -> Partition:
+    """The stripped partition of *relation* by *attributes*.
+
+    The columnar default groups tids by dictionary codes in one
+    tombstone-aware pass over the code arrays
+    (:meth:`~repro.relational.columns.ColumnStore.partition_groups`);
+    ``use_columns=False`` groups raw projected values row by row.  Both
+    produce identical group structure (codes are assigned by value
+    equality), in identical first-occurrence order.
+    """
     positions = relation.schema.positions(attributes)
-    arrays = relation.columns.code_arrays(positions)
-    buckets: dict[int | tuple[int, ...], list[int]] = defaultdict(list)
-    if len(arrays) == 1:
-        codes = arrays[0]
-        for tid in relation.tids():
-            buckets[codes[tid]].append(tid)
+    if use_columns:
+        buckets = relation.columns.partition_groups(positions)
     else:
-        for tid in relation.tids():
-            buckets[tuple(codes[tid] for codes in arrays)].append(tid)
-    return Partition((frozenset(b) for b in buckets.values()), len(relation))
+        buckets = {}
+        if len(positions) == 1:
+            position = positions[0]
+            for tid, values in relation.rows_items():
+                buckets.setdefault(values[position], []).append(tid)
+        else:
+            for tid, values in relation.rows_items():
+                key = tuple(values[p] for p in positions)
+                buckets.setdefault(key, []).append(tid)
+    return Partition(buckets.values(), len(relation))
+
+
+class PartitionCache:
+    """A version-checked memo of stripped partitions keyed by attribute set.
+
+    Entries are valid for exactly one relation *version*: callers pass the
+    current version on every access and any mismatch clears the memo
+    wholesale, so partitions never outlive a mutation.  The cache holds no
+    relation reference — the registry below keys caches weakly by
+    relation, and discovery over the same (unchanged) relation reuses
+    partitions across :class:`PartitionProvider` instances.
+    """
+
+    __slots__ = ("_version", "_entries")
+
+    def __init__(self) -> None:
+        self._version = -1
+        self._entries: dict[frozenset[str], Partition] = {}
+
+    def _current(self, version: int) -> dict[frozenset[str], Partition]:
+        if version != self._version:
+            self._entries.clear()
+            self._version = version
+        return self._entries
+
+    def lookup(self, attributes: frozenset[str], version: int) -> Partition | None:
+        """The cached partition for *attributes* at *version*, if any."""
+        return self._current(version).get(attributes)
+
+    def store(self, attributes: frozenset[str], version: int,
+              partition: Partition) -> None:
+        """Memoize *partition* for *attributes* at *version*."""
+        self._current(version)[attributes] = partition
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: one shared cache per relation; weak keys, and caches hold no relation
+#: reference, so a dropped relation releases its partitions with it.
+_CACHES: "weakref.WeakKeyDictionary[Relation, PartitionCache]" = \
+    weakref.WeakKeyDictionary()
+
+
+def partition_cache(relation: Relation) -> PartitionCache:
+    """The shared per-relation partition cache (created on first use)."""
+    cache = _CACHES.get(relation)
+    if cache is None:
+        cache = PartitionCache()
+        _CACHES[relation] = cache
+    return cache
+
+
+class PartitionProvider:
+    """Caching, optionally chunk-parallel source of stripped partitions.
+
+    The discovery algorithms request partitions by attribute *set*; the
+    provider serves them from the shared per-relation cache, composes a
+    multi-attribute partition from a cached subset pair via
+    :meth:`Partition.product` when the lattice walk already produced one
+    (levelwise search always has, beyond level 1), and otherwise scans —
+    sequentially, or chunk-parallel on :mod:`repro.engine` when
+    ``engine=``/``workers=`` (or the ``REPRO_*`` environment defaults)
+    ask for it.
+
+    The value-level path (``use_columns=False``) is the historical
+    reference: direct row-grouping scans with a private per-provider memo
+    (the memo the old ``FDDiscovery`` kept), no product composition, and
+    the engine knobs ignored — the chunked workers exchange code arrays,
+    which is exactly what that path exists to avoid.
+    """
+
+    def __init__(self, relation: Relation, use_columns: bool = True,
+                 engine: str | None = None, workers: int | None = None) -> None:
+        self._relation = relation
+        self._use_columns = use_columns
+        self._chunked: "ChunkedPartitionEngine | None" = None
+        if use_columns:
+            self._cache = partition_cache(relation)
+            from repro.engine.executor import resolve_pool
+
+            pool = resolve_pool(engine, workers)
+            if pool is not None:
+                from repro.engine.discover import ChunkedPartitionEngine
+
+                self._chunked = ChunkedPartitionEngine(relation, pool)
+        else:
+            self._cache = PartitionCache()
+
+    @property
+    def relation(self) -> Relation:
+        return self._relation
+
+    def partition(self, attributes: frozenset[str] | Iterable[str]) -> Partition:
+        """The stripped partition by *attributes* (cached per relation version)."""
+        attributes = frozenset(attributes)
+        version = self._relation.version
+        cached = self._cache.lookup(attributes, version)
+        if cached is not None:
+            return cached
+        partition = self._compose(attributes, version) if self._use_columns else None
+        if partition is None:
+            partition = self._scan(attributes)
+        self._cache.store(attributes, version, partition)
+        return partition
+
+    def _compose(self, attributes: frozenset[str], version: int) -> Partition | None:
+        """Product of a cached one-smaller subset and a cached singleton."""
+        if len(attributes) < 2:
+            return None
+        for attribute in sorted(attributes):
+            rest = self._cache.lookup(attributes - {attribute}, version)
+            if rest is None:
+                continue
+            single = self._cache.lookup(frozenset((attribute,)), version)
+            if single is not None:
+                return rest.product(single)
+        return None
+
+    def _scan(self, attributes: frozenset[str]) -> Partition:
+        ordered = sorted(attributes)
+        if self._chunked is not None:
+            groups = self._chunked.groups_of(ordered)
+            return Partition(groups, len(self._relation))
+        return partition_of(self._relation, ordered, use_columns=self._use_columns)
+
+    def __repr__(self) -> str:
+        mode = "columns" if self._use_columns else "rows"
+        engine = "chunked" if self._chunked is not None else "sequential"
+        return (f"PartitionProvider({self._relation.name}, {mode}, {engine}, "
+                f"{len(self._cache)} cached)")

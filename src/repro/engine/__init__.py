@@ -23,6 +23,7 @@ suite through the chunked path).
 
 from repro.engine.chunker import Chunk, Chunker
 from repro.engine.detect import ChunkedCFDEngine, ChunkedCINDEngine
+from repro.engine.discover import ChunkedPartitionEngine
 from repro.engine.executor import (
     ENGINES,
     ExecutorPool,
@@ -39,6 +40,7 @@ __all__ = [
     "Chunker",
     "ChunkedCFDEngine",
     "ChunkedCINDEngine",
+    "ChunkedPartitionEngine",
     "ENGINES",
     "ExecutorPool",
     "GroupMerger",

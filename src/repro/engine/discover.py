@@ -1,0 +1,89 @@
+"""Chunked computation of discovery partitions over column partitions.
+
+Discovery's base operation — group the live tids of a relation by the
+code key of an attribute set — runs on the same chunk/merge machinery as
+detection: every chunk is scanned once by the ``partition_scan`` worker
+(partial groups keyed by code tuples, tids in chunk order) and a
+:class:`~repro.engine.merge.GroupMerger` stitches groups spanning chunk
+boundaries back together in first-occurrence order.  The merged groups
+are exactly what the sequential
+:meth:`~repro.relational.columns.ColumnStore.partition_groups` scan
+produces — same keys, same order, same ascending tid lists — so the
+stripped partitions (and every FD/CFD/key discovered from them) are
+identical for every chunk size and worker count.
+
+The broadcast state is one spec holding *every* code array of the
+relation, shipped once per relation version: a levelwise lattice walk
+requests partitions for many attribute sets, and each request is just a
+tuple of schema positions riding in the task payload — no per-attribute-
+set re-broadcast, no re-fork.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.engine.chunker import Chunker
+from repro.engine.executor import ExecutorPool, StateHandle
+from repro.engine.merge import GroupMerger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relational.relation import Relation
+
+#: the single spec id of the broadcast state (one relation per engine).
+_SPEC = "partition"
+
+
+class ChunkedPartitionEngine:
+    """Chunk-parallel grouping of one relation's live tids by code keys."""
+
+    def __init__(self, relation: "Relation", pool: ExecutorPool) -> None:
+        self._relation = relation
+        self._pool = pool
+        self._handle: StateHandle | None = None
+        self._version = -1
+
+    # -- state broadcast ---------------------------------------------------
+
+    def _ensure_handle(self) -> StateHandle:
+        """The broadcastable code arrays, re-tokenised when the relation changed.
+
+        The spec references the column store's live arrays, so its
+        contents are always current; a fresh token on version change tells
+        the multiprocessing backend that worker-side snapshots are stale.
+        """
+        if self._handle is None:
+            store = self._relation.columns
+            arrays = store.code_arrays(range(self._relation.schema.arity))
+            self._handle = StateHandle({_SPEC: {"arrays": arrays}})
+        elif self._version != self._relation.version:
+            self._relation.columns  # rebuild the store in place if it went stale
+            self._handle = StateHandle(self._handle.state,
+                                       supersedes=self._handle.token)
+        self._version = self._relation.version
+        return self._handle
+
+    # -- execution ---------------------------------------------------------
+
+    def groups_of(self, attributes: Sequence[str]) -> list[list[int]]:
+        """All live-tid groups keyed by *attributes*' codes, merged across chunks.
+
+        Groups come back in global first-occurrence order with ascending
+        tids (singletons included — the caller strips).
+        """
+        positions = tuple(self._relation.schema.positions(list(attributes)))
+        rows = len(self._relation)
+        chunks = Chunker(self._relation, **self._pool.chunk_plan(rows)).chunks()
+        if not chunks:
+            return []
+        handle = self._ensure_handle()
+        tasks: list[tuple[str, Any]] = [
+            ("partition_scan", (_SPEC, positions, chunk.tids)) for chunk in chunks]
+        merger = GroupMerger()
+        for partial in self._pool.run_stream(handle, tasks, rows):
+            merger.add_chunk(partial)
+        return list(merger.groups.values())
+
+    def __repr__(self) -> str:
+        return (f"ChunkedPartitionEngine({self._relation.name}, "
+                f"pool={self._pool.name})")

@@ -174,6 +174,42 @@ def _cfd_groups(state: dict[str, Any],
     return results
 
 
+# -- discovery partition phase ----------------------------------------------
+
+
+def _partition_scan(state: dict[str, Any],
+                    payload: tuple[str, tuple[int, ...], list[int]]) -> dict[Any, list[int]]:
+    """Group one chunk's tids by their code key over the given positions.
+
+    The partial groups (bare code keys for one position, code tuples
+    otherwise; tids in chunk scan order) are stitched by the parent's
+    :class:`~repro.engine.merge.GroupMerger` into exactly the
+    first-occurrence-ordered groups a sequential
+    :meth:`~repro.relational.columns.ColumnStore.partition_groups` scan
+    produces.
+    """
+    spec_id, positions, tids = payload
+    arrays = state[spec_id]["arrays"]
+    groups: dict[Any, list[int]] = {}
+    if len(positions) == 1:
+        for tid, code in zip(tids, take(arrays[positions[0]], tids)):
+            bucket = groups.get(code)
+            if bucket is None:
+                groups[code] = [tid]
+            else:
+                bucket.append(tid)
+    else:
+        views = [take(arrays[p], tids) for p in positions]
+        for i, tid in enumerate(tids):
+            key = tuple(view[i] for view in views)
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = [tid]
+            else:
+                bucket.append(tid)
+    return groups
+
+
 # -- CIND phases ------------------------------------------------------------
 
 
@@ -225,4 +261,5 @@ _HANDLERS = {
     "cfd_groups": _cfd_groups,
     "cind_rhs": _cind_rhs,
     "cind_lhs": _cind_lhs,
+    "partition_scan": _partition_scan,
 }

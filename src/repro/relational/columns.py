@@ -268,6 +268,41 @@ class ColumnStore:
         """The code tuple of one tuple id over the given positions."""
         return tuple(self._columns[p].codes[tid] for p in positions)
 
+    def partition_groups(self, positions: Sequence[int]) -> dict[Any, list[int]]:
+        """Live tids grouped by their code key over *positions* (one pass).
+
+        The substrate of stripped-partition discovery: the code arrays are
+        scanned directly — dead slots carry :data:`TOMBSTONE` and are
+        skipped — so no tid list is materialised first.  Keys (a bare code
+        for one position, a code tuple otherwise) appear in
+        first-occurrence order and every tid list is ascending, matching
+        the bucket order of a freshly rebuilt
+        :class:`~repro.relational.index.HashIndex`.
+        """
+        arrays = self.code_arrays(positions)
+        buckets: dict[Any, list[int]] = {}
+        if len(arrays) == 1:
+            for tid, code in enumerate(arrays[0]):
+                if code == TOMBSTONE:
+                    continue
+                bucket = buckets.get(code)
+                if bucket is None:
+                    buckets[code] = [tid]
+                else:
+                    bucket.append(tid)
+        else:
+            first = arrays[0]
+            for tid, code in enumerate(first):
+                if code == TOMBSTONE:
+                    continue
+                key = tuple(codes[tid] for codes in arrays)
+                bucket = buckets.get(key)
+                if bucket is None:
+                    buckets[key] = [tid]
+                else:
+                    bucket.append(tid)
+        return buckets
+
     # -- maintenance ------------------------------------------------------
 
     def is_stale(self) -> bool:

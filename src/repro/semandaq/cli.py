@@ -2,19 +2,24 @@
 
 Usage::
 
-    python -m repro.semandaq.cli DATA.csv CONSTRAINTS.txt [--repair OUT.csv]
+    python -m repro.semandaq.cli DATA.csv [CONSTRAINTS.txt] [--repair OUT.csv]
+        [--discover] [--min-support N] [--max-lhs-size N]
         [--engine {sequential,serial,parallel}] [--workers N]
 
 ``DATA.csv`` is loaded as a relation named after the file; ``CONSTRAINTS.txt``
 contains one CFD per line in the textual syntax of
 :mod:`repro.constraints.parse` (blank lines and ``#`` comments allowed).
 The tool prints the violation report; with ``--repair`` it also computes a
-repair and writes the repaired relation to ``OUT.csv``.  ``--engine`` /
-``--workers`` route detection — and every repair pass's inner detection
-loop — through the chunked execution engine (:mod:`repro.engine`);
-reports and repairs are identical, only execution changes.  The
-``REPRO_ENGINE`` / ``REPRO_WORKERS`` environment variables provide the
-same defaults process-wide.
+repair and writes the repaired relation to ``OUT.csv``.  With
+``--discover`` the constraints file may be omitted: CFDs are discovered
+from the data itself (CFDMiner-style profiling), printed, and registered
+alongside any file-provided constraints before detection runs.
+``--engine`` / ``--workers`` route detection, discovery partitions, and
+every repair pass's inner detection loop through the chunked execution
+engine (:mod:`repro.engine`); reports, discovered CFDs and repairs are
+identical, only execution changes.  The ``REPRO_ENGINE`` /
+``REPRO_WORKERS`` environment variables provide the same defaults
+process-wide.
 """
 
 from __future__ import annotations
@@ -33,13 +38,22 @@ def build_parser() -> argparse.ArgumentParser:
         prog="semandaq",
         description="Detect and repair CFD violations in a CSV file.")
     parser.add_argument("data", help="CSV file containing the relation to clean")
-    parser.add_argument("constraints", help="text file with one CFD per line")
+    parser.add_argument("constraints", nargs="?", default=None,
+                        help="text file with one CFD per line "
+                             "(optional with --discover)")
     parser.add_argument("--repair", metavar="OUT",
                         help="compute a repair and write the repaired relation to OUT")
     parser.add_argument("--relation-name", default=None,
                         help="relation name used in the CFDs (default: the CSV file stem)")
+    parser.add_argument("--discover", action="store_true",
+                        help="discover CFDs from the data (profiling), print them, "
+                             "and register them for detection/repair")
+    parser.add_argument("--min-support", type=int, default=3, metavar="N",
+                        help="minimum support for discovered CFDs (default: 3)")
+    parser.add_argument("--max-lhs-size", type=int, default=2, metavar="N",
+                        help="maximum LHS size for discovered CFDs (default: 2)")
     parser.add_argument("--engine", choices=ENGINES, default=None,
-                        help="execution engine for detection and repair: "
+                        help="execution engine for detection, discovery and repair: "
                              "'sequential' (one pass, the default), "
                              "'serial' (chunked, in-process) or 'parallel' "
                              "(chunked, multiprocessing); results are identical")
@@ -52,23 +66,41 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
-    arguments = build_parser().parse_args(argv)
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    if arguments.constraints is None and not arguments.discover:
+        parser.error("a constraints file is required unless --discover is given")
     data_path = Path(arguments.data)
     relation_name = arguments.relation_name or data_path.stem
     relation = read_csv(data_path, relation_name)
 
     session = SemandaqSession(relation, engine=arguments.engine,
                               workers=arguments.workers)
-    constraints_text = Path(arguments.constraints).read_text(encoding="utf-8")
-    cfds = session.register_cfds(constraints_text)
+    cfds = []
+    if arguments.constraints is not None:
+        constraints_text = Path(arguments.constraints).read_text(encoding="utf-8")
+        cfds = session.register_cfds(constraints_text)
+    if arguments.discover:
+        discovered = session.discover_cfds(relation_name,
+                                           min_support=arguments.min_support,
+                                           max_lhs_size=arguments.max_lhs_size,
+                                           register=True)
+        print(f"discovered {len(discovered)} CFD(s) "
+              f"(min support {arguments.min_support}):")
+        for cfd in discovered:
+            print(f"  {cfd!r}")
+        cfds = cfds + discovered
     print(f"loaded {len(relation)} tuples and {len(cfds)} CFD(s)")
 
     consistency = session.check_consistency()
     if not consistency["satisfiable"]:
         print("warning: the CFD set is not satisfiable by any non-empty instance")
 
-    session.detect()
-    print(session.report())
+    if session.cfds:
+        session.detect()
+        print(session.report())
+    else:
+        print("no CFDs registered (nothing discovered); skipping detection")
 
     if arguments.repair:
         repair = session.apply_repair(relation_name)

@@ -28,6 +28,7 @@ from repro.constraints.reasoning import is_satisfiable, pairwise_conflicts
 from repro.constraints.violations import ViolationReport
 from repro.detection.cfd_detect import CFDDetector, SQLCFDDetector
 from repro.detection.cind_detect import CINDDetector
+from repro.discovery.cfd_discovery import CFDDiscovery
 from repro.errors import ReproError
 from repro.relational.database import Database
 from repro.relational.relation import Relation
@@ -171,6 +172,30 @@ class SemandaqSession:
             detector = self._cfd_detectors[cfd.relation_name.lower()]
             report.extend(detector.detect_one(cfd))
         return report
+
+    # -- discovery (profiling) ----------------------------------------------------------
+
+    def discover_cfds(self, relation_name: str | None = None, min_support: int = 3,
+                      max_lhs_size: int = 2, constant_only: bool = False,
+                      register: bool = False) -> list[CFD]:
+        """Profile one relation for CFDs (constant plus variable by default).
+
+        The session's ``engine=``/``workers=`` apply: candidate-FD
+        partitions are computed chunk-parallel on :mod:`repro.engine`
+        when either knob (or ``REPRO_ENGINE``) asks for it — the
+        discovered CFDs are identical either way.  With ``register=True``
+        the discovered CFDs are registered on the session, ready for
+        :meth:`detect` / :meth:`propose_repair`.
+        """
+        relation = self._resolve_relation(relation_name)
+        discovery = CFDDiscovery(relation, min_support=min_support,
+                                 max_lhs_size=max_lhs_size,
+                                 engine=self._engine, workers=self._workers)
+        discovered = (discovery.discover_constant_cfds() if constant_only
+                      else discovery.discover())
+        if register:
+            self.register_cfds(discovered)
+        return discovered
 
     # -- repair ------------------------------------------------------------------------
 

@@ -131,6 +131,13 @@ class TestItemsetMiner:
         with pytest.raises(DiscoveryError):
             ItemsetMiner(simple, max_size=0)
 
+    def test_closure_rejects_stale_snapshot(self, simple):
+        miner = ItemsetMiner(simple, min_support=2, max_size=2)
+        miner.closure_of([("a", "1")])  # fresh: fine
+        simple.delete(simple.tids()[0])
+        with pytest.raises(DiscoveryError):
+            miner.closure_of([("a", "1")])
+
 
 class TestCFDDiscovery:
     def test_constant_cfds_hold_on_data(self, simple):

@@ -1,0 +1,78 @@
+"""Tests for the chunked partition engine (discovery on the worker pool)."""
+
+import pytest
+
+from repro.datagen.customer import CustomerGenerator
+from repro.engine.discover import ChunkedPartitionEngine
+from repro.engine.executor import MultiprocessingPool, SerialPool
+from repro.engine.worker import run_local
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+
+SCHEMA = RelationSchema("r", [Attribute("a"), Attribute("b")])
+
+
+@pytest.fixture
+def relation():
+    return Relation.from_rows(SCHEMA, [
+        ("1", "x"), ("2", "x"), ("1", "y"), ("1", "x"), ("2", "y"), ("3", "x"),
+    ])
+
+
+class TestPartitionScanWorker:
+    def test_partial_groups_in_chunk_order(self, relation):
+        store = relation.columns
+        state = {"partition": {"arrays": store.code_arrays(range(2))}}
+        [result] = run_local(state, [("partition_scan", ("partition", (0,), [0, 1, 2, 3]))])
+        code_one = store.column("a").codes[0]
+        code_two = store.column("a").codes[1]
+        assert result[code_one] == [0, 2, 3]
+        assert result[code_two] == [1]
+
+    def test_multi_position_keys_are_tuples(self, relation):
+        store = relation.columns
+        state = {"partition": {"arrays": store.code_arrays(range(2))}}
+        [result] = run_local(
+            state, [("partition_scan", ("partition", (0, 1), relation.tids()))])
+        assert all(isinstance(key, tuple) and len(key) == 2 for key in result)
+        assert sum(len(tids) for tids in result.values()) == len(relation)
+
+
+class TestChunkedPartitionEngine:
+    def _expected(self, relation, attributes):
+        positions = relation.schema.positions(attributes)
+        return list(relation.columns.partition_groups(positions).values())
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 5, 100])
+    def test_merged_groups_match_sequential_scan(self, relation, chunk_size):
+        engine = ChunkedPartitionEngine(relation, SerialPool(chunk_size=chunk_size))
+        for attributes in (["a"], ["b"], ["a", "b"]):
+            assert engine.groups_of(attributes) == self._expected(relation, attributes)
+
+    def test_rebroadcast_after_mutation(self, relation):
+        engine = ChunkedPartitionEngine(relation, SerialPool())
+        before = engine.groups_of(["a"])
+        token = engine._handle.token
+        relation.insert(("1", "z"))
+        after = engine.groups_of(["a"])
+        assert engine._handle.token != token  # state re-tokenised
+        assert after == self._expected(relation, ["a"])
+        assert before != after
+
+    def test_token_stable_without_mutation(self, relation):
+        engine = ChunkedPartitionEngine(relation, SerialPool())
+        engine.groups_of(["a"])
+        token = engine._handle.token
+        engine.groups_of(["b"])
+        assert engine._handle.token == token  # many attribute sets, one broadcast
+
+    def test_empty_relation(self):
+        engine = ChunkedPartitionEngine(Relation(SCHEMA), SerialPool())
+        assert engine.groups_of(["a"]) == []
+
+    def test_real_process_pool(self):
+        relation = CustomerGenerator(seed=77).generate(120)
+        pool = MultiprocessingPool(workers=2, min_rows=0)
+        engine = ChunkedPartitionEngine(relation, pool)
+        for attributes in (["cc"], ["cc", "zip"]):
+            assert engine.groups_of(attributes) == self._expected(relation, attributes)

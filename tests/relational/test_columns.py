@@ -163,7 +163,7 @@ class TestPartitionColumnar:
             for row in relation:
                 reference.setdefault(row.project(attributes), set()).add(row.tid)
             expected = {frozenset(g) for g in reference.values() if len(g) > 1}
-            assert set(partition.groups) == expected
+            assert {frozenset(g) for g in partition.groups} == expected
 
 
 class TestColumnarIndexViews:

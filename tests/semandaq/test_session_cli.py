@@ -135,6 +135,30 @@ class TestSemandaqSession:
         assert proposed.passes == expected.passes
 
 
+class TestSessionDiscovery:
+    def test_discover_cfds(self):
+        relation = CustomerGenerator(seed=3).generate(120)
+        session = SemandaqSession(relation)
+        discovered = session.discover_cfds(min_support=5, max_lhs_size=2)
+        assert discovered
+        assert session.cfds == []  # not registered by default
+
+    def test_discover_and_register(self):
+        relation = CustomerGenerator(seed=3).generate(120)
+        session = SemandaqSession(relation)
+        discovered = session.discover_cfds(min_support=5, max_lhs_size=2,
+                                           constant_only=True, register=True)
+        assert [repr(c) for c in session.cfds] == [repr(c) for c in discovered]
+        report = session.detect()  # everything discovered holds on the data
+        assert report.is_clean()
+
+    def test_session_engine_matches_sequential_discovery(self):
+        relation = CustomerGenerator(seed=3).generate(120)
+        sequential = SemandaqSession(relation).discover_cfds(min_support=5)
+        chunked = SemandaqSession(relation, engine="serial").discover_cfds(min_support=5)
+        assert [repr(c) for c in chunked] == [repr(c) for c in sequential]
+
+
 class TestSemandaqCLI:
     def _write_inputs(self, tmp_path):
         relation = Relation.from_dicts(SCHEMA, ROWS)
@@ -162,3 +186,20 @@ class TestSemandaqCLI:
         session = SemandaqSession(repaired)
         cfds = session.register_cfds(CFD_BLOCK)
         assert detect_cfd_violations(repaired, cfds).is_clean()
+
+    def test_discover_without_constraints_file(self, tmp_path, capsys):
+        relation = CustomerGenerator(seed=3).generate(120)
+        data_path = tmp_path / "customer.csv"
+        relation_to_csv(relation, data_path)
+        exit_code = semandaq_main([str(data_path), "--discover",
+                                   "--min-support", "5", "--engine", "serial"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "discovered" in captured and "CFD(s)" in captured
+
+    def test_missing_constraints_without_discover_rejected(self, tmp_path):
+        relation = Relation.from_dicts(SCHEMA, ROWS)
+        data_path = tmp_path / "customer.csv"
+        relation_to_csv(relation, data_path)
+        with pytest.raises(SystemExit):
+            semandaq_main([str(data_path)])
