@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Iterable, Iterator, Mapping
 
 from repro.errors import ConstraintError
+from repro.relational.types import constants_equal as _constants_equal
 from repro.relational.types import is_null
 
 
@@ -174,15 +175,13 @@ class PatternTuple:
         return f"PatternTuple({cells})"
 
 
-def _constants_equal(left: Any, right: Any) -> bool:
-    """Compare a data value with a pattern constant, tolerating int/str mismatches."""
-    if left == right:
-        return True
-    return str(left) == str(right)
-
-
 constants_equal = _constants_equal
-"""Public alias: the ``≍`` equality used between data values and constants."""
+"""Public alias: the ``≍`` equality used between data values and constants.
+
+The implementation lives in :mod:`repro.relational.types` (it is a
+value-level primitive shared with the dictionary-code predicate
+compilers); this module keeps the historical import path.
+"""
 
 
 def _lookup_ci(values: Mapping[str, Any], attribute: str) -> Any:

@@ -26,31 +26,17 @@ for its whole lifetime.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Sequence
+from typing import Any, Sequence
 
 from repro.constraints.cfd import CFD
-from repro.constraints.tableau import PatternTuple, constants_equal
-from repro.relational.columns import Column, NULL_CODE
+from repro.constraints.tableau import PatternTuple
+from repro.relational.columns import NULL_CODE
+from repro.relational.predicates import constant_code_set
 from repro.relational.relation import Relation
 
 __all__ = ["NULL_CODE", "CompiledPattern", "compile_tableau", "constant_code_set"]
-
-
-def _matcher_key(constant: Any) -> Hashable:
-    # 1 and 1.0 hash alike but match different string forms, so the type
-    # name participates in the cache key.
-    return ("constant", type(constant).__name__, constant)
-
-
-def constant_code_set(column: Column, constant: Any) -> set[int]:
-    """The live set of codes of *column* matching *constant* (``≍`` semantics).
-
-    NULL never matches a constant, so :data:`NULL_CODE` is never included.
-    The set is maintained by the column as its dictionary grows.
-    """
-    matcher = column.matcher(
-        _matcher_key(constant), lambda value, c=constant: constants_equal(value, c))
-    return matcher.codes
+# constant_code_set moved to repro.relational.predicates (shared with the
+# SQL push-down); re-exported here for the detection-side importers.
 
 
 class CompiledPattern:

@@ -161,18 +161,38 @@ class CFDDiscovery:
         return list(buckets.items())
 
     def _refine(self, lhs: frozenset[str], rhs: str, offset: int) -> list[CFD]:
-        """Condition the failed FD on constants of one LHS attribute."""
-        refined: list[CFD] = []
+        """Condition the failed FD on constants of one LHS attribute.
+
+        On the columnar path with an engine requested, the per-group
+        subset checks fan out across the worker pool
+        (:meth:`~repro.engine.discover.ChunkedPartitionEngine.refine_subsets`)
+        — one batch of conditioning groups per worker, verdicts stitched
+        back in input order, so the emitted CFD list (names included) is
+        identical to the sequential walk.  Wide relations generate one
+        candidate FD per attribute pair and retry each failure against
+        every conditioning group, which is exactly the workload the
+        fan-out amortises.
+        """
         lhs_list = sorted(lhs)
+        candidates: list[tuple[str, Any, Any]] = []
         for conditioning in lhs_list:
             for value, tids in self._conditioning_groups(conditioning):
-                if len(tids) < self._min_support:
-                    continue
-                if self._holds_on_subset(lhs_list, rhs, tids):
-                    refined.append(CFD(
-                        self._relation.name, lhs_list, [rhs],
-                        [PatternTuple({conditioning: value})],
-                        name=f"cond_{offset + len(refined)}"))
+                if len(tids) >= self._min_support:
+                    candidates.append((conditioning, value, tids))
+        chunked = self._provider.chunked
+        if chunked is not None:
+            verdicts = chunked.refine_subsets(
+                lhs_list, rhs, [list(tids) for _, _, tids in candidates])
+        else:
+            verdicts = [self._holds_on_subset(lhs_list, rhs, tids)
+                        for _, _, tids in candidates]
+        refined: list[CFD] = []
+        for (conditioning, value, _), holds in zip(candidates, verdicts):
+            if holds:
+                refined.append(CFD(
+                    self._relation.name, lhs_list, [rhs],
+                    [PatternTuple({conditioning: value})],
+                    name=f"cond_{offset + len(refined)}"))
         return refined
 
     def _holds_on_subset(self, lhs: Sequence[str], rhs: str,

@@ -243,6 +243,16 @@ class PartitionProvider:
     def relation(self) -> Relation:
         return self._relation
 
+    @property
+    def chunked(self) -> "ChunkedPartitionEngine | None":
+        """The chunked engine serving this provider's scans, if any.
+
+        Discovery also rides it for the conditioning-subset checks of
+        variable-CFD refinement (same broadcast state as the partition
+        scans).
+        """
+        return self._chunked
+
     def partition(self, attributes: frozenset[str] | Iterable[str]) -> Partition:
         """The stripped partition by *attributes* (cached per relation version)."""
         attributes = frozenset(attributes)

@@ -28,6 +28,7 @@ from repro.constraints.cfd import CFD
 from repro.constraints.cind import CIND
 from repro.constraints.violations import CFDViolation, CINDViolation
 from repro.detection.columnar import CompiledPattern, constant_code_set
+from repro.engine.broadcast import RelationBroadcastEngine
 from repro.engine.chunker import Chunker
 from repro.engine.executor import ExecutorPool, StateHandle
 from repro.engine.merge import GroupMerger, split_batches
@@ -59,7 +60,7 @@ def _cfd_spec(relation, cfd: CFD, compiled: Sequence[CompiledPattern],
     }
 
 
-class ChunkedCFDEngine:
+class ChunkedCFDEngine(RelationBroadcastEngine):
     """A chunked execution plan over one relation for a fixed list of CFDs."""
 
     def __init__(self, relation, items: Sequence[tuple[CFD, Sequence[CompiledPattern]]],
@@ -67,37 +68,20 @@ class ChunkedCFDEngine:
                  enumerate_pairs: bool = False) -> None:
         if kind not in CFD_KINDS:
             raise ValueError(f"unknown CFD plan kind {kind!r}")
-        self._relation = relation
+        super().__init__(relation, pool)
         self._items = list(items)
-        self._pool = pool
         self._kind = kind
         self._enumerate_pairs = enumerate_pairs
-        self._handle: StateHandle | None = None
-        self._version = -1
 
     # -- state broadcast ---------------------------------------------------
 
-    def _ensure_handle(self) -> StateHandle:
-        """The broadcastable state, re-tokenised when the relation changed.
-
-        The spec dictionaries reference the column store's live arrays and
-        matcher sets, so their *contents* are always current; a fresh
-        token on version change is what tells the multiprocessing backend
-        that worker-side snapshots are stale and the state must ship again.
-        """
-        if self._handle is None:
-            state = {
-                str(i): _cfd_spec(self._relation, cfd, compiled,
-                                  self._kind, self._enumerate_pairs)
-                for i, (cfd, compiled) in enumerate(self._items)
-            }
-            self._handle = StateHandle(state)
-        elif self._version != self._relation.version:
-            self._relation.columns  # rebuild the store if it went stale
-            self._handle = StateHandle(self._handle.state,
-                                       supersedes=self._handle.token)
-        self._version = self._relation.version
-        return self._handle
+    def _build_state(self) -> dict[str, Any]:
+        """One spec per plan item (live arrays and matcher sets)."""
+        return {
+            str(i): _cfd_spec(self._relation, cfd, compiled,
+                              self._kind, self._enumerate_pairs)
+            for i, (cfd, compiled) in enumerate(self._items)
+        }
 
     # -- execution ---------------------------------------------------------
 

@@ -21,47 +21,26 @@ set re-broadcast, no re-fork.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Sequence
+from typing import Any, Sequence
 
+from repro.engine.broadcast import RelationBroadcastEngine
 from repro.engine.chunker import Chunker
-from repro.engine.executor import ExecutorPool, StateHandle
-from repro.engine.merge import GroupMerger
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.relational.relation import Relation
+from repro.engine.merge import GroupMerger, split_batches
 
 #: the single spec id of the broadcast state (one relation per engine).
 _SPEC = "partition"
 
 
-class ChunkedPartitionEngine:
+class ChunkedPartitionEngine(RelationBroadcastEngine):
     """Chunk-parallel grouping of one relation's live tids by code keys."""
-
-    def __init__(self, relation: "Relation", pool: ExecutorPool) -> None:
-        self._relation = relation
-        self._pool = pool
-        self._handle: StateHandle | None = None
-        self._version = -1
 
     # -- state broadcast ---------------------------------------------------
 
-    def _ensure_handle(self) -> StateHandle:
-        """The broadcastable code arrays, re-tokenised when the relation changed.
-
-        The spec references the column store's live arrays, so its
-        contents are always current; a fresh token on version change tells
-        the multiprocessing backend that worker-side snapshots are stale.
-        """
-        if self._handle is None:
-            store = self._relation.columns
-            arrays = store.code_arrays(range(self._relation.schema.arity))
-            self._handle = StateHandle({_SPEC: {"arrays": arrays}})
-        elif self._version != self._relation.version:
-            self._relation.columns  # rebuild the store in place if it went stale
-            self._handle = StateHandle(self._handle.state,
-                                       supersedes=self._handle.token)
-        self._version = self._relation.version
-        return self._handle
+    def _build_state(self) -> dict[str, Any]:
+        """One spec holding every code array of the relation (live views)."""
+        store = self._relation.columns
+        arrays = store.code_arrays(range(self._relation.schema.arity))
+        return {_SPEC: {"arrays": arrays}}
 
     # -- execution ---------------------------------------------------------
 
@@ -84,6 +63,30 @@ class ChunkedPartitionEngine:
             merger.add_chunk(partial)
         return list(merger.groups.values())
 
-    def __repr__(self) -> str:
-        return (f"ChunkedPartitionEngine({self._relation.name}, "
-                f"pool={self._pool.name})")
+    def refine_subsets(self, lhs_attributes: Sequence[str], rhs_attribute: str,
+                       groups: list[list[int]]) -> list[bool]:
+        """Whether ``LHS → RHS`` holds on each conditioning subset of tids.
+
+        The subset checks of ``CFDDiscovery._refine`` fanned across the
+        worker pool: conditioning groups are split into contiguous
+        balanced batches (one ``subset_check`` task per batch, verdicts
+        concatenated back in input order) against the same
+        whole-relation broadcast state the partition scans use — no
+        extra broadcast, no re-fork.  For small relations the pool's own
+        threshold keeps the batches in-process; the verdicts are
+        identical either way.
+        """
+        if not groups:
+            return []
+        positions = tuple(self._relation.schema.positions(list(lhs_attributes)))
+        rhs_position = self._relation.schema.position(rhs_attribute)
+        rows = len(self._relation)
+        handle = self._ensure_handle()
+        batches = split_batches(groups, self._pool.default_chunks(rows))
+        tasks: list[tuple[str, Any]] = [
+            ("subset_check", (_SPEC, positions, rhs_position, batch))
+            for batch in batches]
+        verdicts: list[bool] = []
+        for partial in self._pool.run(handle, tasks, rows):
+            verdicts.extend(partial)
+        return verdicts

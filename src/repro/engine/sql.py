@@ -1,0 +1,131 @@
+"""Chunked execution of code-native SQL scans over column partitions.
+
+The SQL executor's code-native plans (single-table scan → filter → group
+→ aggregate on dictionary codes, see
+:mod:`repro.relational.sql.columnar`) run on the same chunk/merge
+machinery as detection and discovery: every chunk of live tids is scanned
+once by the ``sql_scan`` worker, and the parent stitches the per-chunk
+results back together in chunk order.
+
+* A **plain scan** returns surviving tids per chunk; concatenating them
+  in chunk order replays the sequential scan order exactly.
+* A **grouped scan** returns partial aggregate states keyed by code
+  tuples; :class:`AggregateMerger` — the aggregate-aware sibling of
+  :class:`~repro.engine.merge.GroupMerger` — combines them so merged keys
+  appear in global first-occurrence order, counts add, distinct-code sets
+  union, MIN/MAX keep the best dictionary-order rank (ties keeping the
+  earliest chunk, i.e. the first occurrence), and SUM/AVG concatenate
+  their code lists so the parent folds values in global tuple order.
+  Every combination is exact — grouped results (floats included) are
+  byte-identical to the sequential scan for every chunk size and worker
+  count.
+
+The broadcast state is one spec holding every code array of the relation,
+shipped once per relation version; all query-specific inputs (filters,
+group positions, aggregate specs) ride in the task payloads, so running
+many different queries against an unchanged relation costs no re-broadcast
+and no re-fork.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.engine.broadcast import RelationBroadcastEngine
+from repro.engine.chunker import Chunker
+
+#: the spec id of the ``sql_scan`` broadcast state (one relation per engine).
+SQL_SPEC = "sql"
+
+
+def broadcast_state(relation: Any) -> dict[str, Any]:
+    """The ``sql_scan`` broadcast state of one relation (live array views).
+
+    Shared by :class:`ChunkedSQLEngine` and the executor's in-process
+    (poolless) scan, so the worker contract has one source of truth.
+    """
+    arrays = relation.columns.code_arrays(range(relation.schema.arity))
+    return {SQL_SPEC: {"arrays": arrays}}
+
+
+class AggregateMerger:
+    """Combines per-chunk ``sql_scan`` group partials (call in chunk order)."""
+
+    __slots__ = ("_kinds", "_groups")
+
+    def __init__(self, aggs: list[tuple]) -> None:
+        self._kinds = [spec[0] for spec in aggs]
+        self._groups: dict[Any, list] = {}
+
+    def add_chunk(self, partial: dict[Any, list]) -> None:
+        """Fold one chunk's partial groups in."""
+        groups = self._groups
+        kinds = self._kinds
+        for key, entry in partial.items():
+            mine = groups.get(key)
+            if mine is None:
+                groups[key] = entry  # first occurrence: representative tid rides along
+                continue
+            for index, kind in enumerate(kinds, start=1):
+                theirs = entry[index]
+                if kind in ("count_star", "count"):
+                    mine[index] += theirs
+                elif kind == "count_distinct":
+                    mine[index] |= theirs
+                elif kind in ("sum", "avg"):
+                    mine[index].extend(theirs)
+                elif theirs is not None:  # min | max: strictly better rank wins
+                    best = mine[index]
+                    if best is None or (theirs[0] < best[0] if kind == "min"
+                                        else theirs[0] > best[0]):
+                        mine[index] = theirs
+
+    @property
+    def groups(self) -> dict[Any, list]:
+        """Merged groups, keys in global first-occurrence order."""
+        return self._groups
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __repr__(self) -> str:
+        return f"AggregateMerger({len(self._groups)} groups)"
+
+
+class ChunkedSQLEngine(RelationBroadcastEngine):
+    """Chunk-parallel ``sql_scan`` execution over one relation."""
+
+    # -- state broadcast ---------------------------------------------------
+
+    def _build_state(self) -> dict[str, Any]:
+        return broadcast_state(self._relation)
+
+    # -- execution ---------------------------------------------------------
+
+    def _run(self, query: dict[str, Any]):
+        rows = len(self._relation)
+        chunks = Chunker(self._relation, **self._pool.chunk_plan(rows)).chunks()
+        if not chunks:
+            return None
+        handle = self._ensure_handle()
+        tasks: list[tuple[str, Any]] = [
+            ("sql_scan", (SQL_SPEC, query, chunk.tids)) for chunk in chunks]
+        return self._pool.run_stream(handle, tasks, rows)
+
+    def scan(self, query: dict[str, Any]) -> list[int]:
+        """Surviving tids of a plain (ungrouped) scan, in global scan order."""
+        results = self._run(query)
+        tids: list[int] = []
+        if results is not None:
+            for partial in results:
+                tids.extend(partial)
+        return tids
+
+    def scan_grouped(self, query: dict[str, Any]) -> dict[Any, list]:
+        """Merged ``code key -> [first tid, aggregate states...]`` groups."""
+        merger = AggregateMerger(query["aggs"])
+        results = self._run(query)
+        if results is not None:
+            for partial in results:
+                merger.add_chunk(partial)
+        return merger.groups

@@ -210,6 +210,152 @@ def _partition_scan(state: dict[str, Any],
     return groups
 
 
+# -- SQL scan phase ----------------------------------------------------------
+
+#: aggregate kind -> integer op code driving the scan loop (shared with
+#: the parent-side finalizers, so partial-state shapes cannot drift).
+AGGREGATE_OPS = {"count_star": 0, "count": 1, "count_distinct": 2,
+                 "sum": 3, "avg": 3, "min": 4, "max": 5}
+
+
+def initial_aggregate_state(kind: str) -> Any:
+    """The partial-aggregate state before any tuple is folded in."""
+    op = AGGREGATE_OPS[kind]
+    if op <= 1:          # count_star | count
+        return 0
+    if op == 2:          # count_distinct
+        return set()
+    if op == 3:          # sum | avg
+        return []
+    return None          # min | max
+
+
+def _sql_scan(state: dict[str, Any],
+              payload: tuple[str, dict[str, Any], list[int]]) -> Any:
+    """Filter one chunk by code-set membership, optionally group + aggregate.
+
+    The query rides in the payload (the broadcast state holds only the
+    relation's code arrays): ``filters`` are ``(position, allowed codes)``
+    pairs, ``group`` is ``None`` for a plain scan (the result is the
+    surviving tids, chunk order) or a tuple of positions (possibly empty —
+    one global group), and ``aggs`` are the aggregate specs of
+    :func:`repro.relational.sql.columnar.query_payload`.
+
+    Grouped results map each code key to ``[first tid, state, ...]`` with
+    one partial-aggregate state per spec:
+
+    * ``count_star`` / ``count`` — an int (``count`` skips NULL codes);
+    * ``count_distinct`` — the set of non-NULL codes seen;
+    * ``sum`` / ``avg`` — the non-NULL codes in chunk scan order (the
+      parent folds them in tuple order, so float accumulation is
+      byte-identical to the sequential path for every chunk size);
+    * ``min`` / ``max`` — the best ``(dictionary-order rank, code)``, ties
+      keeping the first occurrence (the ranks array rides in the spec).
+
+    :class:`~repro.engine.sql.AggregateMerger` combines these across
+    chunks in chunk order.
+    """
+    spec_id, query, tids = payload
+    arrays = state[spec_id]["arrays"]
+    filters = [(arrays[position], allowed) for position, allowed in query["filters"]]
+    if filters:
+        survivors = []
+        for tid in tids:
+            for codes, allowed in filters:
+                if codes[tid] not in allowed:
+                    break
+            else:
+                survivors.append(tid)
+    else:
+        survivors = list(tids)
+    group = query["group"]
+    if group is None:
+        return survivors
+
+    # op codes keep the per-tuple loop on integer dispatch
+    steps: list[tuple[int, Any, Any]] = []
+    for spec in query["aggs"]:
+        kind = spec[0]
+        op = AGGREGATE_OPS[kind]
+        if kind == "count_star":
+            steps.append((op, None, None))
+        elif op >= 4:  # min | max carry their ranks array
+            steps.append((op, arrays[spec[1]], spec[2]))
+        else:
+            steps.append((op, arrays[spec[1]], None))
+    key_arrays = [arrays[position] for position in group]
+    single = len(key_arrays) == 1
+    groups: dict[Any, list] = {}
+    for tid in survivors:
+        if single:
+            key = key_arrays[0][tid]
+        elif key_arrays:
+            key = tuple(codes[tid] for codes in key_arrays)
+        else:
+            key = ()
+        entry = groups.get(key)
+        if entry is None:
+            entry = [tid] + [initial_aggregate_state(spec[0])
+                             for spec in query["aggs"]]
+            groups[key] = entry
+        for index, (op, codes, ranks) in enumerate(steps, start=1):
+            if op == 0:
+                entry[index] += 1
+                continue
+            code = codes[tid]
+            if code == NULL_CODE:
+                continue
+            if op == 1:
+                entry[index] += 1
+            elif op == 2:
+                entry[index].add(code)
+            elif op == 3:
+                entry[index].append(code)
+            else:
+                rank = ranks[code]
+                best = entry[index]
+                if best is None or (rank < best[0] if op == 4 else rank > best[0]):
+                    entry[index] = (rank, code)
+    return groups
+
+
+# -- discovery subset-refinement phase ---------------------------------------
+
+
+def _subset_check(state: dict[str, Any],
+                  payload: tuple[str, tuple[int, ...], int, list[list[int]]]) -> list[bool]:
+    """Whether ``LHS → RHS`` holds on each conditioning subset of tids.
+
+    Replicates ``CFDDiscovery._holds_on_subset`` operation by operation:
+    within one subset, every LHS code key must map to a single RHS code.
+    """
+    spec_id, lhs_positions, rhs_position, groups = payload
+    arrays = state[spec_id]["arrays"]
+    lhs_arrays = [arrays[position] for position in lhs_positions]
+    rhs_codes = arrays[rhs_position]
+    single = len(lhs_arrays) == 1
+    results: list[bool] = []
+    for tids in groups:
+        seen: dict[Any, int] = {}
+        holds = True
+        if single:
+            codes = lhs_arrays[0]
+            for tid in tids:
+                rhs_code = rhs_codes[tid]
+                if seen.setdefault(codes[tid], rhs_code) != rhs_code:
+                    holds = False
+                    break
+        else:
+            for tid in tids:
+                key = tuple(codes[tid] for codes in lhs_arrays)
+                rhs_code = rhs_codes[tid]
+                if seen.setdefault(key, rhs_code) != rhs_code:
+                    holds = False
+                    break
+        results.append(holds)
+    return results
+
+
 # -- CIND phases ------------------------------------------------------------
 
 
@@ -262,4 +408,6 @@ _HANDLERS = {
     "cind_rhs": _cind_rhs,
     "cind_lhs": _cind_lhs,
     "partition_scan": _partition_scan,
+    "sql_scan": _sql_scan,
+    "subset_check": _subset_check,
 }

@@ -27,9 +27,10 @@ survive rebuilds.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import TYPE_CHECKING, Any, Callable, Hashable, Sequence
 
-from repro.relational.types import is_null
+from repro.relational.types import is_null, sort_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.relational.relation import Relation
@@ -70,6 +71,73 @@ class ConstantMatcher:
         self.codes: set[int] = set()
 
 
+class ColumnOrder:
+    """A dictionary-order view of one column: codes sorted by value.
+
+    Built lazily from the dictionary (one sort per dictionary size — the
+    dictionary only grows, so a size check is an exact staleness test) and
+    shared by every consumer of the same version:
+
+    * ``sorted_codes`` / ``keys`` — the codes ordered by
+      :func:`~repro.relational.types.sort_key` of their value, with the
+      keys alongside for bisection.  Range predicates (``<``, ``<=``,
+      ``>``, ``>=`` and the desugared ``BETWEEN``) compile to code sets by
+      bisecting here — the same total order the row-at-a-time comparisons
+      use, so push-down is exact;
+    * ``ranks`` — a code → dense-rank array (``==``-tied sort keys share a
+      rank).  Ordering codes by rank is order-isomorphic to ordering
+      values by ``sort_key``, which is what lets MIN/MAX and ORDER BY run
+      on codes; the *dense* ranks keep stable sorts stable exactly where
+      a value sort would be.
+
+    NULL (code 0) participates in ``ranks`` (it sorts first, as
+    ``sort_key`` says) but is excluded from every range result — a
+    comparison against NULL is UNKNOWN.
+    """
+
+    __slots__ = ("size", "sorted_codes", "keys", "ranks")
+
+    def __init__(self, values: Sequence[Any]) -> None:
+        self.size = len(values)
+        by_code = [sort_key(value) for value in values]
+        self.sorted_codes: list[int] = sorted(range(len(values)),
+                                              key=by_code.__getitem__)
+        self.keys: list[tuple] = [by_code[code] for code in self.sorted_codes]
+        ranks = [0] * len(values)
+        rank = -1
+        previous = None
+        for position, code in enumerate(self.sorted_codes):
+            key = self.keys[position]
+            if key != previous:
+                rank += 1
+                previous = key
+            ranks[code] = rank
+        self.ranks: list[int] = ranks
+
+    def codes_in_range(self, operator: str, bound: Any) -> set[int]:
+        """The non-NULL codes whose value satisfies ``value <operator> bound``.
+
+        *operator* is one of ``<``, ``<=``, ``>``, ``>=``; the comparison
+        is the engine's :func:`~repro.relational.types.sort_key` total
+        order, exactly as the row-at-a-time
+        :class:`~repro.relational.expressions.Comparison` evaluates it.
+        """
+        key = sort_key(bound)
+        if operator == "<":
+            selected = self.sorted_codes[:bisect_left(self.keys, key)]
+        elif operator == "<=":
+            selected = self.sorted_codes[:bisect_right(self.keys, key)]
+        elif operator == ">":
+            selected = self.sorted_codes[bisect_right(self.keys, key):]
+        elif operator == ">=":
+            selected = self.sorted_codes[bisect_left(self.keys, key):]
+        else:
+            raise ValueError(f"unknown range operator {operator!r}")
+        codes = set(selected)
+        codes.discard(NULL_CODE)
+        return codes
+
+
 class Column:
     """One dictionary-encoded attribute of a relation.
 
@@ -85,7 +153,7 @@ class Column:
     """
 
     __slots__ = ("attribute", "codes", "values", "counts",
-                 "_code_by_value", "_matchers", "_strings", "_distances")
+                 "_code_by_value", "_matchers", "_strings", "_distances", "_order")
 
     def __init__(self, attribute: str) -> None:
         from repro.relational.types import NULL
@@ -98,6 +166,7 @@ class Column:
         self._matchers: dict[Hashable, ConstantMatcher] = {}
         self._strings: list[str] | None = None
         self._distances: dict[Hashable, dict[tuple[int, int], float]] = {}
+        self._order: ColumnOrder | None = None
 
     # -- encoding ---------------------------------------------------------
 
@@ -139,6 +208,23 @@ class Column:
         if self._strings is None:
             self._strings = [str(v) for v in self.values]
         return self._strings
+
+    # -- dictionary order -------------------------------------------------
+
+    def order(self) -> ColumnOrder:
+        """The dictionary-order view of this column (rebuilt lazily).
+
+        The view is valid for exactly one dictionary size; interning a new
+        value invalidates it and the next access sorts afresh.  Unlike
+        matcher sets, order views are *not* maintained incrementally —
+        consumers (range push-down, MIN/MAX on codes, ORDER BY) hold them
+        for at most one query.
+        """
+        order = self._order
+        if order is None or order.size != len(self.values):
+            order = ColumnOrder(self.values)
+            self._order = order
+        return order
 
     # -- constant matchers ------------------------------------------------
 
@@ -216,6 +302,7 @@ class Column:
         self.counts[0] = 0
         self._code_by_value = {NULL: NULL_CODE}
         self._strings = None
+        self._order = None
         for matcher in self._matchers.values():
             matcher.codes.clear()
         for cache in self._distances.values():

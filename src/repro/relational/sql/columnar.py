@@ -1,0 +1,520 @@
+"""Code-native (vectorized) plans for single-table SELECT statements.
+
+The classic executor materialises an ``_ExecRow`` binding dict per
+surviving row and evaluates WHERE / GROUP BY / aggregates value-at-a-time.
+This module compiles the plans that do not need any of that: a
+single-table scan → filter → group → aggregate pipeline that runs on the
+relation's dictionary code arrays end to end.
+
+* **Filter** — every WHERE conjunct must compile to a ``(position,
+  allowed code set)`` pair (:func:`compile_filter`): string equality /
+  ``IN`` / their negations via :func:`~repro.relational.predicates.equality_code_set`,
+  and ``<`` ``<=`` ``>`` ``>=`` (and the parser's desugared ``BETWEEN``)
+  via :func:`~repro.relational.predicates.range_code_set` on the column's
+  dictionary-order view.  Surviving tuples are selected by integer set
+  membership — no row objects, no binding dicts.
+* **Group** — GROUP BY columns become schema positions; groups are keyed
+  by code tuples straight off the code arrays (codes are assigned by
+  value equality, so code keys and value keys partition identically, in
+  the same first-occurrence order).
+* **Aggregate** — COUNT / COUNT(DISTINCT) run as code counts,
+  MIN / MAX compare dense dictionary-order ranks
+  (:meth:`~repro.relational.columns.Column.order`), SUM / AVG fold the
+  dictionary-decoded values in tuple order (decoding is one list index
+  per value — the dictionary holds each distinct value decoded once).
+* **Decode boundaries** — values materialise only in the output rows:
+  per selected cell for plain scans, per group for representatives and
+  aggregate results.
+
+:func:`compile_plan` returns ``None`` whenever the statement needs more
+than this pipeline — joins, multiple tables, residual (expression-valued)
+WHERE conjuncts, non-column GROUP BY keys, aggregates over expressions —
+and the executor falls back to the retained row path, which produces
+byte-identical results (the randomized SQL parity suite pins this down).
+
+The compiled plan is deliberately split from its execution: the scan
+itself is the picklable ``sql_scan`` worker handler
+(:mod:`repro.engine.worker`), run either in-process on the full tid list
+or fanned across chunks by :class:`~repro.engine.sql.ChunkedSQLEngine`
+with an :class:`~repro.engine.sql.AggregateMerger` stitching per-chunk
+partial aggregates.  The helpers here (:func:`query_payload`,
+:func:`finalize_aggregate`, :func:`empty_aggregate_state`) are the
+parent-side halves of that contract.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ReproError, SchemaError, SQLExecutionError
+from repro.relational.expressions import (
+    And,
+    Arithmetic,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    Literal,
+)
+from repro.relational.predicates import (
+    RANGE_OPERATORS,
+    equality_code_set,
+    range_code_set,
+)
+from repro.relational.sql.ast import (
+    AggregateCall,
+    SelectStatement,
+    TableRef,
+)
+from repro.relational.sql.parser import AggregateExpr
+from repro.relational.types import NULL, AttributeType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relational.database import Database
+    from repro.relational.relation import Relation
+
+#: aggregate functions the code-native pipeline computes on codes.
+AGGREGATE_FUNCTIONS = ("count", "sum", "avg", "min", "max")
+
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+_MISSING = object()
+
+
+# -- shared statement helpers -------------------------------------------------
+#
+# Item expansion and aggregate collection are identical for the code and
+# row paths (the row executor delegates here), so the two cannot drift.
+
+
+def flatten_conjuncts(expression: Expression | None) -> list[Expression]:
+    """The top-level AND conjuncts of *expression* (``[]`` for ``None``)."""
+    if expression is None:
+        return []
+    if isinstance(expression, And):
+        result: list[Expression] = []
+        for operand in expression.operands:
+            result.extend(flatten_conjuncts(operand))
+        return result
+    return [expression]
+
+
+def star_columns(database: "Database", statement: SelectStatement,
+                 qualifier: str | None) -> list[tuple[str, Expression]]:
+    """Expand ``*`` / ``alias.*`` into named column references."""
+    columns: list[tuple[str, Expression]] = []
+    seen: set[str] = set()
+    tables = list(statement.tables) + [join.table for join in statement.joins]
+    for table in tables:
+        if qualifier is not None and table.binding_name.lower() != qualifier.lower():
+            continue
+        relation = database.relation(table.relation_name)
+        for name in relation.schema.attribute_names:
+            output = name if name.lower() not in seen else f"{table.binding_name}_{name}"
+            seen.add(name.lower())
+            columns.append((output, ColumnRef(name, qualifier=table.binding_name)))
+    if not columns:
+        raise SQLExecutionError(f"'*' expansion found no columns (qualifier {qualifier!r})")
+    return columns
+
+
+def expanded_items(database: "Database",
+                   statement: SelectStatement) -> list[tuple[str, Expression | AggregateCall]]:
+    """The select list with '*' and 'alias.*' expanded to concrete columns."""
+    expanded: list[tuple[str, Expression | AggregateCall]] = []
+    for index, item in enumerate(statement.items):
+        if item.is_star:
+            expanded.extend(star_columns(database, statement, item.star_qualifier))
+        else:
+            expanded.append((item.output_name(index), item.expression))
+    return expanded
+
+
+def collect_aggregates(expression: Expression | None) -> list[AggregateCall]:
+    """Every aggregate call embedded in *expression*, in walk order."""
+    if expression is None:
+        return []
+    found: list[AggregateCall] = []
+
+    def walk(node: Expression) -> None:
+        if isinstance(node, AggregateExpr):
+            found.append(node.call)
+            return
+        for attribute in ("operands", "operand", "left", "right", "arguments", "values"):
+            child = getattr(node, attribute, None)
+            if isinstance(child, Expression):
+                walk(child)
+            elif isinstance(child, tuple):
+                for element in child:
+                    if isinstance(element, Expression):
+                        walk(element)
+
+    walk(expression)
+    return found
+
+
+def rewrite_aggregates(expression: Expression,
+                       aggregate_values: dict[AggregateCall, Any]) -> Expression:
+    """Replace embedded aggregate calls with their computed values."""
+    from repro.relational.expressions import (
+        Comparison as Cmp, FunctionCall, IsNull, Like, Not, Or,
+    )
+
+    if isinstance(expression, AggregateExpr):
+        return Literal(aggregate_values[expression.call])
+    if isinstance(expression, And):
+        return And(tuple(rewrite_aggregates(op, aggregate_values)
+                         for op in expression.operands))
+    if isinstance(expression, Or):
+        return Or(tuple(rewrite_aggregates(op, aggregate_values)
+                        for op in expression.operands))
+    if isinstance(expression, Not):
+        return Not(rewrite_aggregates(expression.operand, aggregate_values))
+    if isinstance(expression, Cmp):
+        return Cmp(expression.operator,
+                   rewrite_aggregates(expression.left, aggregate_values),
+                   rewrite_aggregates(expression.right, aggregate_values))
+    if isinstance(expression, Arithmetic):
+        return Arithmetic(expression.operator,
+                          rewrite_aggregates(expression.left, aggregate_values),
+                          rewrite_aggregates(expression.right, aggregate_values))
+    if isinstance(expression, IsNull):
+        return IsNull(rewrite_aggregates(expression.operand, aggregate_values),
+                      negated=expression.negated)
+    if isinstance(expression, Like):
+        return Like(rewrite_aggregates(expression.operand, aggregate_values),
+                    expression.pattern, negated=expression.negated)
+    if isinstance(expression, InList):
+        return InList(rewrite_aggregates(expression.operand, aggregate_values),
+                      tuple(rewrite_aggregates(v, aggregate_values)
+                            for v in expression.values),
+                      negated=expression.negated)
+    if isinstance(expression, FunctionCall):
+        return FunctionCall(expression.name,
+                            tuple(rewrite_aggregates(a, aggregate_values)
+                                  for a in expression.arguments))
+    return expression
+
+
+# -- WHERE conjunct compilation ----------------------------------------------
+
+
+def _resolved_position(ref: ColumnRef, table: TableRef, single_table: bool,
+                       relation: "Relation") -> int | None:
+    """*ref*'s schema position when it names a column of *table*, else ``None``."""
+    if ref.qualifier is not None:
+        if ref.qualifier.lower() != table.binding_name.lower():
+            return None
+    elif not single_table:
+        return None  # ambiguous without a qualifier; leave to evaluation
+    try:
+        return relation.schema.position(ref.name)
+    except SchemaError:
+        return None  # unknown column: the residual path raises the error
+
+
+def _literal_value(expression: Expression) -> Any:
+    """The constant value of *expression*, or :data:`_MISSING`.
+
+    Folds the parser's unary-minus shape (``Arithmetic('-', 0, number)``)
+    so ``WHERE v > -1`` compiles like ``WHERE v > 1`` does.
+    """
+    if isinstance(expression, Literal):
+        return expression.value
+    if (isinstance(expression, Arithmetic) and expression.operator == "-"
+            and isinstance(expression.left, Literal) and expression.left.value == 0
+            and isinstance(expression.right, Literal)
+            and isinstance(expression.right.value, (int, float))
+            and not isinstance(expression.right.value, bool)):
+        return -expression.right.value
+    return _MISSING
+
+
+def _as_string_constants(conjunct: Expression, table: TableRef, single_table: bool,
+                         relation: "Relation") -> tuple[int, list[str], bool] | None:
+    """``(position, string literals, negated)`` of an equality push-down."""
+    if isinstance(conjunct, Comparison) and conjunct.operator in ("=", "!=", "<>"):
+        for ref, literal in ((conjunct.left, conjunct.right),
+                             (conjunct.right, conjunct.left)):
+            if isinstance(ref, ColumnRef) and isinstance(literal, Literal):
+                break
+        else:
+            return None
+        if not isinstance(literal.value, str):
+            return None
+        position = _resolved_position(ref, table, single_table, relation)
+        if position is None:
+            return None
+        if relation.schema.attributes[position].type is not AttributeType.STRING:
+            return None  # '=' must keep SQL numeric semantics (1 == 1.0)
+        return position, [literal.value], conjunct.operator != "="
+    if isinstance(conjunct, InList):
+        ref = conjunct.operand
+        if not isinstance(ref, ColumnRef):
+            return None
+        if not all(isinstance(value, Literal) and isinstance(value.value, str)
+                   for value in conjunct.values):
+            return None  # non-string or non-literal members: residual evaluation
+        position = _resolved_position(ref, table, single_table, relation)
+        if position is None:
+            return None
+        if relation.schema.attributes[position].type is not AttributeType.STRING:
+            return None
+        return position, [value.value for value in conjunct.values], conjunct.negated
+    return None
+
+
+def _as_range(conjunct: Expression, table: TableRef, single_table: bool,
+              relation: "Relation") -> tuple[int, str, Any] | None:
+    """``(position, operator, bound)`` of a range push-down.
+
+    Any column type qualifies: the row path evaluates ``<`` etc. in the
+    ``sort_key`` total order, which is exactly the order the column's
+    dictionary-order view bisects.
+    """
+    if not isinstance(conjunct, Comparison) or conjunct.operator not in RANGE_OPERATORS:
+        return None
+    for ref, literal, operator in ((conjunct.left, conjunct.right, conjunct.operator),
+                                   (conjunct.right, conjunct.left,
+                                    _FLIPPED[conjunct.operator])):
+        if isinstance(ref, ColumnRef):
+            bound = _literal_value(literal)
+            if bound is _MISSING:
+                return None
+            position = _resolved_position(ref, table, single_table, relation)
+            if position is None:
+                return None
+            return position, operator, bound
+    return None
+
+
+def compile_filter(relation: "Relation", table: TableRef, conjunct: Expression,
+                   single_table: bool) -> tuple[int, set[int]] | None:
+    """Compile one WHERE conjunct to a ``(position, allowed codes)`` filter.
+
+    Returns ``None`` when the conjunct must stay on the residual
+    (expression-valued) path.  Results — rows *and* their order — are
+    identical either way; only execution changes.
+    """
+    store = relation.columns
+    equality = _as_string_constants(conjunct, table, single_table, relation)
+    if equality is not None:
+        position, constants, negated = equality
+        return position, equality_code_set(store.column_at(position), constants, negated)
+    comparison = _as_range(conjunct, table, single_table, relation)
+    if comparison is not None:
+        position, operator, bound = comparison
+        return position, range_code_set(store.column_at(position), operator, bound)
+    return None
+
+
+# -- plan compilation ---------------------------------------------------------
+
+
+class CodePlan:
+    """A compiled code-native plan for one single-table SELECT."""
+
+    __slots__ = ("relation", "table", "filters", "grouped", "group_positions",
+                 "agg_calls", "agg_specs", "items", "names", "having",
+                 "order_ranks")
+
+    def __init__(self, relation: "Relation", table: TableRef) -> None:
+        self.relation = relation
+        self.table = table
+        #: ``(schema position, allowed codes)`` per WHERE conjunct.
+        self.filters: list[tuple[int, set[int]]] = []
+        #: whether the grouped (aggregate) pipeline runs.
+        self.grouped = False
+        #: GROUP BY schema positions (empty = one global group).
+        self.group_positions: tuple[int, ...] = ()
+        #: unique aggregate calls (lookup key for HAVING/item rewriting).
+        self.agg_calls: list[AggregateCall] = []
+        #: worker specs aligned with ``agg_calls`` (see ``sql_scan``).
+        self.agg_specs: list[tuple] = []
+        #: output layout: ("col", position) | ("agg", index) | ("expr", Expression).
+        self.items: list[tuple[str, Any]] = []
+        self.names: list[str] = []
+        self.having: Expression | None = None
+        #: plain-scan ORDER BY as (position, descending) rank sorts, or None.
+        self.order_ranks: list[tuple[int, bool]] | None = None
+
+
+def _register_aggregate(plan: CodePlan, registry: dict[AggregateCall, int],
+                        call: AggregateCall, table: TableRef,
+                        relation: "Relation") -> int | None:
+    index = registry.get(call)
+    if index is not None:
+        return index
+    spec = _aggregate_spec(call, table, relation)
+    if spec is None:
+        return None
+    index = len(plan.agg_calls)
+    registry[call] = index
+    plan.agg_calls.append(call)
+    plan.agg_specs.append(spec)
+    return index
+
+
+def _aggregate_spec(call: AggregateCall, table: TableRef,
+                    relation: "Relation") -> tuple | None:
+    if call.function not in AGGREGATE_FUNCTIONS:
+        return None
+    if call.argument is None:
+        # COUNT(*) — and, like the row path, any aggregate over '*'.
+        return ("count_star",)
+    if not isinstance(call.argument, ColumnRef):
+        return None  # aggregates over expressions: row path
+    position = _resolved_position(call.argument, table, True, relation)
+    if position is None:
+        return None
+    if call.function == "count":
+        return ("count_distinct", position) if call.distinct else ("count", position)
+    if call.function in ("sum", "avg"):
+        return (call.function, position, call.distinct)
+    return (call.function, position)  # min | max
+
+
+def compile_plan(database: "Database", statement: SelectStatement) -> CodePlan | None:
+    """Compile *statement* to a :class:`CodePlan`, or ``None`` to fall back."""
+    if statement.joins or len(statement.tables) != 1:
+        return None
+    table = statement.tables[0]
+    try:
+        relation = database.relation(table.relation_name)
+    except ReproError:
+        return None  # unknown relation: the row path raises the canonical error
+
+    plan = CodePlan(relation, table)
+    for conjunct in flatten_conjuncts(statement.where):
+        compiled = compile_filter(relation, table, conjunct, single_table=True)
+        if compiled is None:
+            return None
+        plan.filters.append(compiled)
+
+    try:
+        items = expanded_items(database, statement)
+    except SQLExecutionError:
+        return None  # e.g. a bad 'alias.*': the row path raises identically
+    plan.names = [name for name, _ in items]
+
+    if statement.has_aggregates():
+        plan.grouped = True
+        positions: list[int] = []
+        for expression in statement.group_by:
+            if not isinstance(expression, ColumnRef):
+                return None  # GROUP BY on an expression: row path
+            position = _resolved_position(expression, table, True, relation)
+            if position is None:
+                return None
+            positions.append(position)
+        plan.group_positions = tuple(positions)
+
+        registry: dict[AggregateCall, int] = {}
+        for _, expression in items:
+            if isinstance(expression, AggregateCall):
+                index = _register_aggregate(plan, registry, expression, table, relation)
+                if index is None:
+                    return None
+                plan.items.append(("agg", index))
+            else:
+                for call in collect_aggregates(expression):
+                    if _register_aggregate(plan, registry, call, table, relation) is None:
+                        return None
+                plan.items.append(("expr", expression))
+        plan.having = statement.having
+        for call in collect_aggregates(statement.having):
+            if _register_aggregate(plan, registry, call, table, relation) is None:
+                return None
+        return plan
+
+    for _, expression in items:
+        position = _resolved_position(expression, table, True, relation) \
+            if isinstance(expression, ColumnRef) else None
+        if position is None:
+            return None  # computed select items: row path
+        plan.items.append(("col", position))
+    plan.order_ranks = _order_ranks(plan, statement)
+    return plan
+
+
+def _order_ranks(plan: CodePlan, statement: SelectStatement) -> list[tuple[int, bool]] | None:
+    """ORDER BY as rank sorts over source columns, when every key allows it.
+
+    Mirrors the row path's name resolution: an ORDER BY key rides the
+    dictionary-order index only when it is an unqualified column reference
+    naming an output column (last occurrence wins, like the row path's
+    name map).  DISTINCT forces the shared value-level path — dedup runs
+    before ordering there.
+    """
+    if not statement.order_by or statement.distinct:
+        return None
+    name_positions = {name.lower(): index for index, name in enumerate(plan.names)}
+    ranks: list[tuple[int, bool]] = []
+    for order_item in statement.order_by:
+        expression = order_item.expression
+        if not isinstance(expression, ColumnRef) or expression.qualifier is not None:
+            return None
+        output_index = name_positions.get(expression.name.lower())
+        if output_index is None:
+            return None
+        _, position = plan.items[output_index]
+        ranks.append((position, order_item.descending))
+    return ranks
+
+
+# -- execution-side helpers ---------------------------------------------------
+
+
+def query_payload(plan: CodePlan) -> dict[str, Any]:
+    """The picklable per-query half of the ``sql_scan`` worker contract.
+
+    The broadcast state carries the relation's code arrays (shipped once
+    per relation version); everything query-specific — filters, group
+    positions, aggregate specs with the dictionary-order ranks MIN/MAX
+    compare — rides in each task payload.
+    """
+    store = plan.relation.columns
+    aggs: list[tuple] = []
+    for spec in plan.agg_specs:
+        if spec[0] in ("min", "max"):
+            ranks = store.column_at(spec[1]).order().ranks
+            aggs.append((spec[0], spec[1], ranks))
+        else:
+            aggs.append(spec)
+    return {
+        "filters": plan.filters,
+        "group": plan.group_positions if plan.grouped else None,
+        "aggs": aggs,
+    }
+
+
+def empty_aggregate_state(spec: tuple) -> Any:
+    """The partial-aggregate state of a group no tuple reached."""
+    from repro.engine.worker import initial_aggregate_state
+
+    return initial_aggregate_state(spec[0])
+
+
+def finalize_aggregate(spec: tuple, state: Any, relation: "Relation") -> Any:
+    """Turn one merged partial-aggregate state into the SQL result value."""
+    kind = spec[0]
+    if kind in ("count_star", "count"):
+        return state
+    if kind == "count_distinct":
+        return len(state)
+    column = relation.columns.column_at(spec[1])
+    if kind in ("sum", "avg"):
+        codes = state
+        if spec[2]:  # DISTINCT: first-occurrence dedup, like the row path
+            seen: set[int] = set()
+            codes = [code for code in codes if not (code in seen or seen.add(code))]
+        if not codes:
+            return NULL
+        values = column.values
+        if kind == "sum":
+            return sum(values[code] for code in codes)
+        decoded = [values[code] for code in codes]
+        return sum(decoded) / len(decoded)
+    if state is None:  # min | max over an empty / all-NULL group
+        return NULL
+    return column.values[state[1]]

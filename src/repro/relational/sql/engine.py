@@ -15,15 +15,33 @@ class SQLEngine:
 
         engine = SQLEngine(database)
         result = engine.query("SELECT zip, COUNT(*) AS n FROM customer GROUP BY zip")
+
+    ``engine=``/``workers=`` select the chunked execution engine
+    (:mod:`repro.engine`) for code-native scans: single-table
+    scan/filter/group/aggregate plans fan out across column-partition
+    chunks, with results identical to the in-process path.  The
+    ``REPRO_ENGINE`` / ``REPRO_WORKERS`` environment variables provide the
+    same defaults process-wide.  ``use_columns=False`` retains the
+    historical row-at-a-time execution for everything (the parity
+    reference).
     """
 
-    def __init__(self, database: Database) -> None:
+    def __init__(self, database: Database, engine: str | None = None,
+                 workers: int | None = None, use_columns: bool = True) -> None:
+        from repro.engine.executor import resolve_pool
+
         self._database = database
-        self._executor = SQLExecutor(database)
+        self._executor = SQLExecutor(database, use_columns=use_columns,
+                                     pool=resolve_pool(engine, workers))
 
     @property
     def database(self) -> Database:
         return self._database
+
+    @property
+    def last_plan(self) -> str | None:
+        """The path the last SELECT took: ``"code"`` or ``"row"`` (diagnostics)."""
+        return self._executor.last_plan
 
     def query(self, sql: str, result_name: str = "result") -> Relation:
         """Parse and execute *sql*, returning the result relation."""

@@ -1,21 +1,34 @@
 """Executor for the SQL subset.
 
-Execution strategy:
+Execution takes one of two paths, selected per SELECT:
 
-1. The FROM clause (tables, explicit joins and the WHERE conjuncts) is
-   turned into a left-deep sequence of hash equi-joins where possible and
-   nested-loop filters otherwise (:class:`_FromPlanner`).  String-constant
-   conjuncts on STRING columns (``t.col = 'lit'``, ``t.col != 'lit'``,
-   ``t.col [NOT] IN ('a', 'b')``) are compiled to dictionary-code sets
-   against the relation's column store — the same mechanism CFD pattern
-   constants use (:func:`repro.detection.columnar.constant_code_set`) —
-   so matching tuples are selected by integer membership before any row
-   object or binding dict is built.
-2. Remaining WHERE conjuncts filter the joined rows.
-3. GROUP BY / aggregates / HAVING are evaluated per group.
-4. The select list is projected, then DISTINCT / ORDER BY / LIMIT apply.
+**Code-native path** (the default for single-table statements).  The
+statement is compiled by :func:`repro.relational.sql.columnar.compile_plan`
+into a scan → filter → group → aggregate pipeline over the relation's
+dictionary code arrays: WHERE conjuncts become ``(position, allowed code
+set)`` filters (string equality / ``IN`` and their negations, plus ``<``
+``<=`` ``>`` ``>=`` and the desugared ``BETWEEN`` via the column's
+dictionary-order view), GROUP BY keys are code tuples straight off the
+arrays, and COUNT / COUNT(DISTINCT) / MIN / MAX / SUM / AVG are computed
+on codes.  No ``_ExecRow`` binding dict is ever built — values decode
+only into the output rows.  The scan runs in-process, or fans out across
+:mod:`repro.engine` chunks (the ``sql_scan`` worker, stitched by
+:class:`~repro.engine.sql.AggregateMerger`) when the executor was built
+with a pool.
 
-The result of execution is an ordinary
+**Row path** (joins, multiple tables, residual predicates, computed
+select items — and everything when ``use_columns=False``).  The FROM
+clause is turned into a left-deep sequence of hash equi-joins where
+possible and nested-loop filters otherwise (:class:`_FromPlanner`);
+push-downable WHERE conjuncts still select tids by code membership before
+any binding dict is built (unless ``use_columns=False``); the remaining
+conjuncts, GROUP BY, aggregates and HAVING are evaluated row-at-a-time.
+
+Both paths produce identical results — rows, order, names and inferred
+types — which the randomized SQL parity suite pins down.  DISTINCT /
+ORDER BY / LIMIT and result-relation construction are shared; the
+code-native plain scan orders by dictionary ranks instead when every
+ORDER BY key allows it.  The result of execution is an ordinary
 :class:`~repro.relational.relation.Relation`, so query results compose
 with the rest of the engine.
 """
@@ -23,32 +36,44 @@ with the rest of the engine.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
-from repro.errors import SchemaError, SQLExecutionError
+from repro.errors import SQLExecutionError
 from repro.relational.database import Database
 from repro.relational.expressions import (
-    And,
     ColumnRef,
     Comparison,
     EvaluationContext,
     Expression,
-    InList,
-    Literal,
     truth,
 )
 from repro.relational.relation import Relation, Tuple
 from repro.relational.schema import Attribute, RelationSchema
 from repro.relational.sql.ast import (
     AggregateCall,
-    SelectItem,
     SelectStatement,
     Statement,
     TableRef,
     UnionStatement,
 )
-from repro.relational.sql.parser import AggregateExpr
+from repro.relational.sql.columnar import (
+    CodePlan,
+    collect_aggregates,
+    compile_filter,
+    compile_plan,
+    empty_aggregate_state,
+    expanded_items,
+    finalize_aggregate,
+    flatten_conjuncts,
+    query_payload,
+    rewrite_aggregates,
+)
 from repro.relational.types import NULL, AttributeType, is_null, sort_key
+
+#: test hook: called with every _ExecRow built (None disables).  The SQL
+#: parity suite points this at a counter to assert the code-native path
+#: allocates zero binding rows.
+_exec_row_hook: Callable[["_ExecRow"], None] | None = None
 
 
 class _ExecRow:
@@ -59,6 +84,8 @@ class _ExecRow:
     def __init__(self, bindings: dict[str, Any], sources: list[tuple[str, Tuple]]) -> None:
         self.bindings = bindings
         self.sources = sources
+        if _exec_row_hook is not None:
+            _exec_row_hook(self)
 
     def context(self) -> EvaluationContext:
         return EvaluationContext(self.bindings)
@@ -94,17 +121,6 @@ def _rows_for_table(database: Database, table: TableRef,
     return rows
 
 
-def _flatten_conjuncts(expression: Expression | None) -> list[Expression]:
-    if expression is None:
-        return []
-    if isinstance(expression, And):
-        result: list[Expression] = []
-        for operand in expression.operands:
-            result.extend(_flatten_conjuncts(operand))
-        return result
-    return [expression]
-
-
 def _column_binding(ref: ColumnRef) -> str:
     return f"{ref.qualifier.lower()}.{ref.name.lower()}" if ref.qualifier else ref.name.lower()
 
@@ -112,17 +128,19 @@ def _column_binding(ref: ColumnRef) -> str:
 class _FromPlanner:
     """Builds the joined row stream for a SELECT statement."""
 
-    def __init__(self, database: Database, statement: SelectStatement) -> None:
+    def __init__(self, database: Database, statement: SelectStatement,
+                 use_columns: bool = True) -> None:
         self._database = database
         self._statement = statement
+        self._use_columns = use_columns
 
     def execute(self) -> tuple[list[_ExecRow], list[Expression]]:
         """Return (joined rows, conjuncts not yet applied)."""
         tables = list(self._statement.tables)
-        conjuncts = _flatten_conjuncts(self._statement.where)
+        conjuncts = flatten_conjuncts(self._statement.where)
         for join in self._statement.joins:
             tables.append(join.table)
-            conjuncts.extend(_flatten_conjuncts(join.condition))
+            conjuncts.extend(flatten_conjuncts(join.condition))
 
         if not tables:
             raise SQLExecutionError("SELECT requires at least one relation in FROM")
@@ -148,85 +166,29 @@ class _FromPlanner:
     def _split_code_filters(self, table: TableRef, conjuncts: list[Expression],
                             single_table: bool) -> tuple[list[tuple[list[int], set[int]]],
                                                          list[Expression]]:
-        """Compile string-constant conjuncts on *table* to code-set filters.
+        """Compile push-downable conjuncts on *table* to code-set filters.
 
-        ``col = 'lit'``, ``col != 'lit'`` (and ``<>``), ``col IN (...)``
-        and ``col NOT IN (...)`` qualify when the column is STRING-typed
-        and every constant is a string literal: there the constant code
-        set CFD patterns build via
-        :func:`~repro.detection.columnar.constant_code_set` degenerates to
-        the dictionary codes of the literals (string equality is exact and
-        NULL never matches), so membership is decided by ``code_of``
-        lookups — no matcher registration, nothing retained on the column
-        after the query.  The negated forms take the complement of the
-        literal codes over the current dictionary; NULL stays excluded
-        either way, matching SQL's three-valued logic (``NULL != 'x'`` is
-        UNKNOWN).  Everything else stays a residual conjunct, so results —
-        rows *and* their order — are identical to the row-at-a-time path.
+        String equality / ``IN`` (and their negations) on STRING columns
+        and range comparisons on any column compile to dictionary-code
+        sets via :func:`~repro.relational.sql.columnar.compile_filter`;
+        everything else stays a residual conjunct, so results — rows
+        *and* their order — are identical to the row-at-a-time path.
+        With ``use_columns=False`` nothing is pushed down at all: the
+        retained reference path evaluates every conjunct on binding rows.
         """
+        if not self._use_columns:
+            return [], list(conjuncts)
         relation = self._database.relation(table.relation_name)
         filters: list[tuple[list[int], set[int]]] = []
         rest: list[Expression] = []
         for conjunct in conjuncts:
-            extracted = self._as_string_constants(conjunct, table, single_table, relation)
-            if extracted is None:
+            compiled = compile_filter(relation, table, conjunct, single_table)
+            if compiled is None:
                 rest.append(conjunct)
                 continue
-            name, constants, negated = extracted
-            column = relation.columns.column(name)
-            codes = {column.code_of(constant) for constant in constants}
-            codes.discard(None)
-            if negated:
-                codes = set(range(1, len(column.values))) - codes
-            filters.append((column.codes, codes))
+            position, codes = compiled
+            filters.append((relation.columns.column_at(position).codes, codes))
         return filters, rest
-
-    @classmethod
-    def _as_string_constants(cls, conjunct: Expression, table: TableRef, single_table: bool,
-                             relation) -> tuple[str, list[str], bool] | None:
-        """``(column, string literals, negated)`` of a push-downable conjunct."""
-        if isinstance(conjunct, Comparison) and conjunct.operator in ("=", "!=", "<>"):
-            for ref, literal in ((conjunct.left, conjunct.right),
-                                 (conjunct.right, conjunct.left)):
-                if isinstance(ref, ColumnRef) and isinstance(literal, Literal):
-                    break
-            else:
-                return None
-            if not isinstance(literal.value, str):
-                return None
-            name = cls._string_column_on_table(ref, table, single_table, relation)
-            if name is None:
-                return None
-            return name, [literal.value], conjunct.operator != "="
-        if isinstance(conjunct, InList):
-            ref = conjunct.operand
-            if not isinstance(ref, ColumnRef):
-                return None
-            if not all(isinstance(value, Literal) and isinstance(value.value, str)
-                       for value in conjunct.values):
-                return None  # non-string or non-literal members: residual evaluation
-            name = cls._string_column_on_table(ref, table, single_table, relation)
-            if name is None:
-                return None
-            return name, [value.value for value in conjunct.values], conjunct.negated
-        return None
-
-    @staticmethod
-    def _string_column_on_table(ref: ColumnRef, table: TableRef, single_table: bool,
-                                relation) -> str | None:
-        """*ref*'s name when it is a STRING column of *table*, else ``None``."""
-        if ref.qualifier is not None:
-            if ref.qualifier.lower() != table.binding_name.lower():
-                return None
-        elif not single_table:
-            return None  # ambiguous without a qualifier; leave to evaluation
-        try:
-            position = relation.schema.position(ref.name)
-        except SchemaError:
-            return None  # unknown column: the residual path raises the error
-        if relation.schema.attributes[position].type is not AttributeType.STRING:
-            return None
-        return ref.name
 
     def _split_equi_conjuncts(self, conjuncts: list[Expression], bound: set[str],
                               new_alias: str) -> tuple[list[tuple[str, str]], list[Expression]]:
@@ -294,10 +256,24 @@ def _infer_output_type(values: Iterable[Any]) -> AttributeType:
 
 
 class SQLExecutor:
-    """Executes parsed statements against a :class:`Database`."""
+    """Executes parsed statements against a :class:`Database`.
 
-    def __init__(self, database: Database) -> None:
+    ``use_columns=False`` retains the historical row-at-a-time reference
+    path for everything (no code-native plans, no code-set push-down).
+    *pool* is an :class:`~repro.engine.executor.ExecutorPool`: when given,
+    code-native scans fan out across it chunk by chunk (results are
+    identical — the engine is an execution detail).
+    """
+
+    def __init__(self, database: Database, use_columns: bool = True,
+                 pool: Any = None) -> None:
         self._database = database
+        self._use_columns = use_columns
+        self._pool = pool
+        #: per-relation chunked engines (broadcast state survives queries).
+        self._engines: dict[str, Any] = {}
+        #: the path the last SELECT took: "code" or "row" (diagnostics).
+        self.last_plan: str | None = None
 
     # -- public ------------------------------------------------------------
 
@@ -327,15 +303,27 @@ class SQLExecutor:
     # -- SELECT ----------------------------------------------------------------
 
     def _execute_select(self, statement: SelectStatement, result_name: str) -> Relation:
-        rows, residual = _FromPlanner(self._database, statement).execute()
+        pre_ordered = False
+        ran_code = False
+        self.last_plan = "row"
+        if self._use_columns:
+            plan = compile_plan(self._database, statement)
+            if plan is not None:
+                self.last_plan = "code"
+                output_rows, names, pre_ordered = self._execute_code_plan(plan)
+                ran_code = True
 
-        for conjunct in residual:
-            rows = [row for row in rows if truth(conjunct.evaluate(row.context()))]
+        if not ran_code:
+            rows, residual = _FromPlanner(self._database, statement,
+                                          use_columns=self._use_columns).execute()
 
-        if statement.has_aggregates():
-            output_rows, names = self._grouped_output(statement, rows)
-        else:
-            output_rows, names = self._plain_output(statement, rows)
+            for conjunct in residual:
+                rows = [row for row in rows if truth(conjunct.evaluate(row.context()))]
+
+            if statement.has_aggregates():
+                output_rows, names = self._grouped_output(statement, rows)
+            else:
+                output_rows, names = self._plain_output(statement, rows)
 
         if statement.distinct:
             deduped = []
@@ -347,7 +335,7 @@ class SQLExecutor:
                     deduped.append(row)
             output_rows = deduped
 
-        if statement.order_by:
+        if statement.order_by and not pre_ordered:
             output_rows = self._order(statement, output_rows, names)
 
         if statement.limit is not None:
@@ -365,39 +353,140 @@ class SQLExecutor:
             result.insert(list(row))
         return result
 
+    # -- code-native execution ----------------------------------------------
+
+    def _execute_code_plan(self, plan: CodePlan) -> tuple[list[list[Any]], list[str], bool]:
+        """Run a compiled code-native plan; returns (rows, names, pre-ordered)."""
+        relation = plan.relation
+        query = query_payload(plan)
+        if self._pool is None:
+            from repro.engine import worker
+            from repro.engine.sql import SQL_SPEC, broadcast_state
+
+            [result] = worker.run_local(
+                broadcast_state(relation),
+                [("sql_scan", (SQL_SPEC, query, relation.tids()))])
+        else:
+            engine = self._chunked_engine(relation)
+            result = engine.scan_grouped(query) if plan.grouped else engine.scan(query)
+
+        if plan.grouped:
+            return self._code_grouped_output(plan, result), list(plan.names), False
+        tids, pre_ordered = self._code_order(plan, result)
+        store = relation.columns
+        columns = [store.column_at(position) for _, position in plan.items]
+        output_rows = [[column.values[column.codes[tid]] for column in columns]
+                       for tid in tids]
+        return output_rows, list(plan.names), pre_ordered
+
+    def _chunked_engine(self, relation: Relation) -> Any:
+        """The per-relation chunked scan engine (broadcast state cached)."""
+        from repro.engine.sql import ChunkedSQLEngine
+
+        key = relation.name.lower()
+        engine = self._engines.get(key)
+        if engine is None or engine.relation is not relation:
+            engine = ChunkedSQLEngine(relation, self._pool)
+            self._engines[key] = engine
+        return engine
+
+    def _code_order(self, plan: CodePlan, tids: list[int]) -> tuple[list[int], bool]:
+        """Order surviving tids by dictionary ranks when the plan allows it.
+
+        Replicates :meth:`_order` move for move — ascending sort on the
+        dense rank tuple, full reverse when every key is descending, and
+        per-key stable re-sorts (last key first) for mixed directions —
+        so the decoded rows land in exactly the value-sorted order.
+        """
+        order = plan.order_ranks
+        if not order:
+            return tids, False
+        store = plan.relation.columns
+        keys = [(store.column_at(position).order().ranks,
+                 store.column_at(position).codes, descending)
+                for position, descending in order]
+        flags = [descending for _, _, descending in keys]
+        if any(flags) and not all(flags):
+            # mixed directions: sort stably, last key first
+            ordered = list(tids)
+            for ranks, codes, descending in reversed(keys):
+                ordered = sorted(
+                    ordered,
+                    key=lambda tid, r=ranks, c=codes: r[c[tid]],
+                    reverse=descending)
+            return ordered, True
+        ordered = sorted(tids, key=lambda tid: tuple(ranks[codes[tid]]
+                                                     for ranks, codes, _ in keys))
+        if all(flags):
+            ordered = list(reversed(ordered))
+        return ordered, True
+
+    def _code_grouped_output(self, plan: CodePlan,
+                             merged: dict[Any, list]) -> list[list[Any]]:
+        """Assemble grouped output rows from merged partial-aggregate states."""
+        relation = plan.relation
+        if not merged and not plan.group_positions:
+            # aggregates without GROUP BY over no rows still emit one row
+            merged = {(): None}
+        output: list[list[Any]] = []
+        for entry in merged.values():
+            if entry is None:
+                representative = None
+                states = [empty_aggregate_state(spec) for spec in plan.agg_specs]
+            else:
+                representative = entry[0]
+                states = entry[1:]
+            finalized = [finalize_aggregate(spec, state, relation)
+                         for spec, state in zip(plan.agg_specs, states)]
+            aggregate_values = dict(zip(plan.agg_calls, finalized))
+            context: list[EvaluationContext] = []
+
+            def group_context() -> EvaluationContext:
+                if not context:
+                    context.append(self._representative_context(plan, representative))
+                return context[0]
+
+            if plan.having is not None:
+                having_value = rewrite_aggregates(
+                    plan.having, aggregate_values).evaluate(group_context())
+                if not truth(having_value):
+                    continue
+            values = []
+            for kind, ref in plan.items:
+                if kind == "agg":
+                    values.append(finalized[ref])
+                else:
+                    values.append(rewrite_aggregates(
+                        ref, aggregate_values).evaluate(group_context()))
+            output.append(values)
+        return output
+
+    def _representative_context(self, plan: CodePlan,
+                                tid: int | None) -> EvaluationContext:
+        """The binding context of a group's first row (decoded once per group)."""
+        if tid is None:
+            return EvaluationContext({})
+        relation = plan.relation
+        store = relation.columns
+        binding = plan.table.binding_name.lower()
+        bindings: dict[str, Any] = {}
+        for position, name in enumerate(relation.schema.attribute_names):
+            column = store.column_at(position)
+            value = column.values[column.codes[tid]]
+            bindings[name.lower()] = value
+            bindings[f"{binding}.{name.lower()}"] = value
+        return EvaluationContext(bindings)
+
     # -- projection without aggregation ----------------------------------------
 
     def _expanded_items(self, statement: SelectStatement,
-                        rows: list[_ExecRow]) -> list[tuple[str, Expression | AggregateCall]]:
+                        ) -> list[tuple[str, Expression | AggregateCall]]:
         """Expand '*' and 'alias.*' into concrete column references."""
-        expanded: list[tuple[str, Expression | AggregateCall]] = []
-        for index, item in enumerate(statement.items):
-            if item.is_star:
-                expanded.extend(self._star_columns(statement, item.star_qualifier))
-            else:
-                expanded.append((item.output_name(index), item.expression))
-        return expanded
-
-    def _star_columns(self, statement: SelectStatement,
-                      qualifier: str | None) -> list[tuple[str, Expression]]:
-        columns: list[tuple[str, Expression]] = []
-        seen: set[str] = set()
-        tables = list(statement.tables) + [join.table for join in statement.joins]
-        for table in tables:
-            if qualifier is not None and table.binding_name.lower() != qualifier.lower():
-                continue
-            relation = self._database.relation(table.relation_name)
-            for name in relation.schema.attribute_names:
-                output = name if name.lower() not in seen else f"{table.binding_name}_{name}"
-                seen.add(name.lower())
-                columns.append((output, ColumnRef(name, qualifier=table.binding_name)))
-        if not columns:
-            raise SQLExecutionError(f"'*' expansion found no columns (qualifier {qualifier!r})")
-        return columns
+        return expanded_items(self._database, statement)
 
     def _plain_output(self, statement: SelectStatement,
                       rows: list[_ExecRow]) -> tuple[list[list[Any]], list[str]]:
-        items = self._expanded_items(statement, rows)
+        items = self._expanded_items(statement)
         names = [name for name, _ in items]
         output: list[list[Any]] = []
         for row in rows:
@@ -424,11 +513,17 @@ class SQLExecutor:
         else:
             groups[()] = list(rows)
 
-        items = self._expanded_items(statement, rows)
+        items = self._expanded_items(statement)
         names = [name for name, _ in items]
 
         having_aggregates = self._collect_aggregates(statement.having)
-        item_aggregates = [expr for _, expr in items if isinstance(expr, AggregateCall)]
+        item_aggregates: list[AggregateCall] = []
+        for _, expr in items:
+            if isinstance(expr, AggregateCall):
+                item_aggregates.append(expr)
+            else:
+                # aggregates embedded in a computed item (COUNT(*) + 1, ...)
+                item_aggregates.extend(self._collect_aggregates(expr))
         all_aggregates = list({**{a: None for a in item_aggregates},
                                **{a: None for a in having_aggregates}}.keys())
 
@@ -459,25 +554,7 @@ class SQLExecutor:
         return output, names
 
     def _collect_aggregates(self, expression: Expression | None) -> list[AggregateCall]:
-        if expression is None:
-            return []
-        found: list[AggregateCall] = []
-
-        def walk(node: Expression) -> None:
-            if isinstance(node, AggregateExpr):
-                found.append(node.call)
-                return
-            for attribute in ("operands", "operand", "left", "right", "arguments", "values"):
-                child = getattr(node, attribute, None)
-                if isinstance(child, Expression):
-                    walk(child)
-                elif isinstance(child, tuple):
-                    for element in child:
-                        if isinstance(element, Expression):
-                            walk(element)
-
-        walk(expression)
-        return found
+        return collect_aggregates(expression)
 
     def _compute_aggregate(self, aggregate: AggregateCall, rows: list[_ExecRow]) -> Any:
         if aggregate.argument is None:
@@ -512,52 +589,9 @@ class SQLExecutor:
 
     def _evaluate_with_aggregates(self, expression: Expression, representative: _ExecRow | None,
                                   aggregate_values: dict[AggregateCall, Any]) -> Any:
-        rewritten = self._rewrite_aggregates(expression, aggregate_values)
+        rewritten = rewrite_aggregates(expression, aggregate_values)
         context = representative.context() if representative is not None else EvaluationContext({})
         return rewritten.evaluate(context)
-
-    def _rewrite_aggregates(self, expression: Expression,
-                            aggregate_values: dict[AggregateCall, Any]) -> Expression:
-        from repro.relational.expressions import Literal
-
-        if isinstance(expression, AggregateExpr):
-            return Literal(aggregate_values[expression.call])
-
-        if isinstance(expression, (And,)):
-            return And(tuple(self._rewrite_aggregates(op, aggregate_values)
-                             for op in expression.operands))
-        from repro.relational.expressions import (
-            Arithmetic, Comparison as Cmp, FunctionCall, InList, IsNull, Like, Not, Or,
-        )
-        if isinstance(expression, Or):
-            return Or(tuple(self._rewrite_aggregates(op, aggregate_values)
-                            for op in expression.operands))
-        if isinstance(expression, Not):
-            return Not(self._rewrite_aggregates(expression.operand, aggregate_values))
-        if isinstance(expression, Cmp):
-            return Cmp(expression.operator,
-                       self._rewrite_aggregates(expression.left, aggregate_values),
-                       self._rewrite_aggregates(expression.right, aggregate_values))
-        if isinstance(expression, Arithmetic):
-            return Arithmetic(expression.operator,
-                              self._rewrite_aggregates(expression.left, aggregate_values),
-                              self._rewrite_aggregates(expression.right, aggregate_values))
-        if isinstance(expression, IsNull):
-            return IsNull(self._rewrite_aggregates(expression.operand, aggregate_values),
-                          negated=expression.negated)
-        if isinstance(expression, Like):
-            return Like(self._rewrite_aggregates(expression.operand, aggregate_values),
-                        expression.pattern, negated=expression.negated)
-        if isinstance(expression, InList):
-            return InList(self._rewrite_aggregates(expression.operand, aggregate_values),
-                          tuple(self._rewrite_aggregates(v, aggregate_values)
-                                for v in expression.values),
-                          negated=expression.negated)
-        if isinstance(expression, FunctionCall):
-            return FunctionCall(expression.name,
-                                tuple(self._rewrite_aggregates(a, aggregate_values)
-                                      for a in expression.arguments))
-        return expression
 
     # -- ordering -------------------------------------------------------------
 

@@ -206,3 +206,16 @@ def sort_key(value: Any) -> tuple[int, Any]:
     if isinstance(value, (int, float)):
         return (2, float(value))
     return (3, str(value))
+
+
+def constants_equal(left: Any, right: Any) -> bool:
+    """Compare a data value with a pattern constant, tolerating int/str mismatches.
+
+    This is the ``≍`` equality of CFD pattern matching (historically
+    defined next to :class:`~repro.constraints.tableau.PatternTuple`, now
+    a value-level primitive shared with the dictionary-code predicate
+    compilers in :mod:`repro.relational.predicates`).
+    """
+    if left == right:
+        return True
+    return str(left) == str(right)

@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro.semandaq.cli DATA.csv [CONSTRAINTS.txt] [--repair OUT.csv]
-        [--discover] [--min-support N] [--max-lhs-size N]
+        [--discover] [--min-support N] [--max-lhs-size N] [--sql QUERY]
         [--engine {sequential,serial,parallel}] [--workers N]
 
 ``DATA.csv`` is loaded as a relation named after the file; ``CONSTRAINTS.txt``
@@ -13,13 +13,17 @@ The tool prints the violation report; with ``--repair`` it also computes a
 repair and writes the repaired relation to ``OUT.csv``.  With
 ``--discover`` the constraints file may be omitted: CFDs are discovered
 from the data itself (CFDMiner-style profiling), printed, and registered
-alongside any file-provided constraints before detection runs.
-``--engine`` / ``--workers`` route detection, discovery partitions, and
-every repair pass's inner detection loop through the chunked execution
-engine (:mod:`repro.engine`); reports, discovered CFDs and repairs are
-identical, only execution changes.  The ``REPRO_ENGINE`` /
-``REPRO_WORKERS`` environment variables provide the same defaults
-process-wide.
+alongside any file-provided constraints before detection runs.  With
+``--sql`` the constraints file may also be omitted: the query runs
+against the loaded relation through the session's SQL engine and the
+result table is printed (detection/repair still run when constraints are
+given or discovered).
+``--engine`` / ``--workers`` route detection, discovery partitions,
+every repair pass's inner detection loop, and ``--sql``'s code-native
+scans through the chunked execution engine (:mod:`repro.engine`);
+reports, discovered CFDs, repairs and query results are identical, only
+execution changes.  The ``REPRO_ENGINE`` / ``REPRO_WORKERS`` environment
+variables provide the same defaults process-wide.
 """
 
 from __future__ import annotations
@@ -52,6 +56,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="minimum support for discovered CFDs (default: 3)")
     parser.add_argument("--max-lhs-size", type=int, default=2, metavar="N",
                         help="maximum LHS size for discovered CFDs (default: 2)")
+    parser.add_argument("--sql", metavar="QUERY", default=None,
+                        help="run a SQL query against the loaded relation and "
+                             "print the result (honours --engine/--workers; "
+                             "makes the constraints file optional)")
     parser.add_argument("--engine", choices=ENGINES, default=None,
                         help="execution engine for detection, discovery and repair: "
                              "'sequential' (one pass, the default), "
@@ -69,13 +77,24 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
     if arguments.constraints is None and not arguments.discover:
-        parser.error("a constraints file is required unless --discover is given")
+        if arguments.sql is None:
+            parser.error("a constraints file is required unless --discover or --sql is given")
+        if arguments.repair:
+            parser.error("--repair requires a constraints file or --discover")
     data_path = Path(arguments.data)
     relation_name = arguments.relation_name or data_path.stem
     relation = read_csv(data_path, relation_name)
 
     session = SemandaqSession(relation, engine=arguments.engine,
                               workers=arguments.workers)
+
+    if arguments.sql is not None:
+        result = session.sql(arguments.sql)
+        print(result.pretty())
+        print(f"({len(result)} row(s))")
+        if arguments.constraints is None and not arguments.discover:
+            return 0  # pure query invocation: no detection/repair to run
+
     cfds = []
     if arguments.constraints is not None:
         constraints_text = Path(arguments.constraints).read_text(encoding="utf-8")

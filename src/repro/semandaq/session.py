@@ -32,6 +32,7 @@ from repro.discovery.cfd_discovery import CFDDiscovery
 from repro.errors import ReproError
 from repro.relational.database import Database
 from repro.relational.relation import Relation
+from repro.relational.sql.engine import SQLEngine
 from repro.repair.batch_repair import BatchRepair, Repair
 from repro.repair.cost import CostModel
 from repro.semandaq.report import repair_report, violation_report
@@ -47,9 +48,10 @@ class SemandaqSession:
     detection *and* repair (see :mod:`repro.engine`): when either is
     given, CFD detection switches from the SQL-generation path to the
     direct columnar detector running on the engine, CIND detection runs
-    its chunked anti-join, and :meth:`propose_repair` /
-    :meth:`apply_repair` route every repair pass's inner detection loop
-    through the same engine.  Without them everything behaves as before
+    its chunked anti-join, :meth:`propose_repair` / :meth:`apply_repair`
+    route every repair pass's inner detection loop through the same
+    engine, and :meth:`sql` fans its code-native scans across it.
+    Without them everything behaves as before
     (the ``REPRO_ENGINE`` environment variable still reaches the
     underlying detectors and repairs as a process-wide default).
     """
@@ -69,6 +71,7 @@ class SemandaqSession:
         self._cind_detector: CINDDetector | None = None
         self._cfds: list[CFD] = []
         self._cinds: list[CIND] = []
+        self._sql_engine: SQLEngine | None = None
         self._cost_model = CostModel()
         self._locked_cells: dict[tuple[str, int, str], Any] = {}
         self._last_report: ViolationReport | None = None
@@ -172,6 +175,24 @@ class SemandaqSession:
             detector = self._cfd_detectors[cfd.relation_name.lower()]
             report.extend(detector.detect_one(cfd))
         return report
+
+    # -- ad-hoc queries --------------------------------------------------------------
+
+    def sql(self, query: str, result_name: str = "result") -> Relation:
+        """Run a SQL query against the session's database.
+
+        The session's ``engine=``/``workers=`` apply: single-table
+        scan/filter/group/aggregate plans execute code-natively on the
+        chunked engine (see :mod:`repro.relational.sql.columnar`), like
+        :meth:`detect` / :meth:`propose_repair` / :meth:`discover_cfds`
+        do.  The SQL engine (and with it the per-relation broadcast
+        state) is kept for the session's lifetime, so repeated queries
+        over unchanged relations pay no re-broadcast.
+        """
+        if self._sql_engine is None:
+            self._sql_engine = SQLEngine(self._database, engine=self._engine,
+                                         workers=self._workers)
+        return self._sql_engine.query(query, result_name=result_name)
 
     # -- discovery (profiling) ----------------------------------------------------------
 

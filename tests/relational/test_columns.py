@@ -9,7 +9,7 @@ from repro.relational.index import HashIndex
 from repro.relational.relation import Relation
 from repro.relational.schema import Attribute, RelationSchema
 from repro.relational.stats import collect_stats
-from repro.relational.types import NULL, AttributeType, is_null
+from repro.relational.types import NULL, AttributeType, is_null, sort_key
 
 
 SCHEMA = RelationSchema("people", [
@@ -211,3 +211,69 @@ class TestColumnarIndexViews:
         rows = HashIndex(relation, ["city"], use_columns=False)
         assert dict(columnar.groups()) == dict(rows.groups())
         assert columnar.lookup(("nyc",)) == rows.lookup(("nyc",))
+
+
+class TestColumnOrder:
+    """The dictionary-order view: sorted codes, dense ranks, bisect ranges."""
+
+    def test_sorted_codes_follow_value_order(self, relation):
+        column = relation.columns.column("age")
+        order = column.order()
+        values = [column.values[code] for code in order.sorted_codes]
+        assert values[0] is NULL or is_null(values[0])  # NULL sorts first
+        rest = values[1:]
+        assert rest == sorted(rest)
+
+    def test_ranks_are_dense_and_order_isomorphic(self, relation):
+        column = relation.columns.column("name")
+        order = column.order()
+        for a in range(len(column.values)):
+            for b in range(len(column.values)):
+                key_a, key_b = sort_key(column.values[a]), sort_key(column.values[b])
+                if key_a < key_b:
+                    assert order.ranks[a] < order.ranks[b]
+                elif key_a == key_b:
+                    assert order.ranks[a] == order.ranks[b]
+
+    def test_range_queries_match_value_scan(self, relation):
+        column = relation.columns.column("age")
+        order = column.order()
+        import operator as op
+        ops = {"<": op.lt, "<=": op.le, ">": op.gt, ">=": op.ge}
+        for symbol, fn in ops.items():
+            for bound in (36, 41, 85, 0, 100, 40.5):
+                expected = {code for code in range(1, len(column.values))
+                            if fn(sort_key(column.values[code]), sort_key(bound))}
+                assert order.codes_in_range(symbol, bound) == expected, (symbol, bound)
+
+    def test_null_code_never_selected(self, relation):
+        column = relation.columns.column("city")
+        assert NULL_CODE not in column.order().codes_in_range("<", "zzz")
+        assert NULL_CODE not in column.order().codes_in_range(">=", "")
+
+    def test_view_rebuilds_after_intern(self, relation):
+        column = relation.columns.column("city")
+        stale = column.order()
+        relation.insert(["new", "aberdeen", 1])
+        fresh = column.order()
+        assert fresh is not stale
+        code = column.code_of("aberdeen")
+        assert code in fresh.codes_in_range("<", "london")
+
+    def test_view_cached_while_dictionary_unchanged(self, relation):
+        column = relation.columns.column("city")
+        assert column.order() is column.order()
+
+    def test_unknown_operator_rejected(self, relation):
+        with pytest.raises(ValueError):
+            relation.columns.column("city").order().codes_in_range("!", "x")
+
+    def test_reset_clears_view(self, relation):
+        column = relation.columns.column("city")
+        before = column.order()
+        relation.clear()
+        for row in ROWS:
+            relation.insert(list(row))
+        store = relation.columns  # stale store rebuilds in place
+        after = store.column("city").order()
+        assert after is not before

@@ -391,3 +391,165 @@ class TestCodeSetPushdownExtensions:
             "SELECT o.amount AS amount FROM customer c, orders o "
             "WHERE c.phn = o.phn AND c.city IN ('edi') ORDER BY amount")
         assert [r["amount"] for r in result] == [10, 20]
+
+
+class TestRangePushdown:
+    """Range comparisons and BETWEEN compile to dictionary-code sets."""
+
+    def _filters(self, database, sql):
+        from repro.relational.sql.executor import _FromPlanner
+        statement = parse_sql(sql)
+        planner = _FromPlanner(database, statement)
+        table = statement.tables[0]
+        conjuncts = [statement.where] if statement.where is not None else []
+        return planner._split_code_filters(table, conjuncts, True)
+
+    def test_integer_range_fast_path_engages(self, database):
+        filters, rest = self._filters(
+            database, "SELECT phn FROM orders WHERE amount >= 20")
+        assert len(filters) == 1 and not rest
+
+    def test_string_range_fast_path_engages(self, database):
+        filters, rest = self._filters(
+            database, "SELECT phn FROM customer WHERE city < 'm'")
+        assert len(filters) == 1 and not rest
+
+    def test_range_rows_and_order(self, engine):
+        result = engine.query("SELECT phn FROM orders WHERE amount > 15")
+        assert [r["phn"] for r in result] == ["1111", "4444", "9999"]
+        result = engine.query("SELECT phn FROM orders WHERE amount <= 20")
+        assert [r["phn"] for r in result] == ["1111", "1111"]
+
+    def test_reversed_operands_flip(self, engine):
+        result = engine.query("SELECT phn FROM orders WHERE 30 <= amount")
+        assert [r["phn"] for r in result] == ["4444", "9999"]
+
+    def test_between_desugars_to_two_ranges(self, database, engine):
+        from repro.relational.sql.executor import _FromPlanner
+        statement = parse_sql("SELECT phn FROM orders WHERE amount BETWEEN 20 AND 30")
+        planner = _FromPlanner(database, statement)
+        from repro.relational.sql.columnar import flatten_conjuncts
+        conjuncts = flatten_conjuncts(statement.where)
+        filters, rest = planner._split_code_filters(statement.tables[0], conjuncts, True)
+        assert len(filters) == 2 and not rest
+        result = engine.query("SELECT phn FROM orders WHERE amount BETWEEN 20 AND 30")
+        assert [r["phn"] for r in result] == ["1111", "4444"]
+
+    def test_negative_literal_folds(self, engine):
+        result = engine.query("SELECT phn FROM orders WHERE amount > -1")
+        assert len(result) == 4
+
+    def test_null_bound_selects_nothing(self, engine):
+        assert len(engine.query("SELECT phn FROM orders WHERE amount < NULL")) == 0
+
+    def test_null_cells_never_match(self, engine, database):
+        database.relation("orders").insert_dict({"phn": NULL, "amount": NULL})
+        assert len(engine.query("SELECT phn FROM orders WHERE amount >= 0")) == 4
+        assert len(engine.query("SELECT phn FROM orders WHERE amount <= 99")) == 4
+
+    def test_range_matches_residual_evaluation(self, engine):
+        fast = engine.query("SELECT phn FROM orders WHERE amount >= 20")
+        slow = engine.query("SELECT phn FROM orders WHERE ABS(amount) >= 20")
+        assert [r["phn"] for r in fast] == [r["phn"] for r in slow]
+
+    def test_cross_type_comparison_matches_row_semantics(self, engine):
+        # sort_key orders every number before every string
+        assert len(engine.query("SELECT phn FROM customer WHERE city > 5")) == 6
+        assert len(engine.query("SELECT phn FROM customer WHERE city < 5")) == 0
+
+    def test_not_between_stays_residual(self, database, engine):
+        filters, rest = self._filters(
+            database, "SELECT phn FROM orders WHERE amount NOT BETWEEN 20 AND 30")
+        assert not filters and len(rest) == 1
+        result = engine.query(
+            "SELECT phn FROM orders WHERE amount NOT BETWEEN 20 AND 30")
+        assert [r["phn"] for r in result] == ["1111", "9999"]
+
+
+class TestCodeNativePlans:
+    """Single-table scan/filter/group/aggregate plans bypass _ExecRow."""
+
+    def _count_exec_rows(self, engine, sql):
+        from repro.relational.sql import executor as executor_module
+        built = []
+        executor_module._exec_row_hook = built.append
+        try:
+            result = engine.query(sql)
+        finally:
+            executor_module._exec_row_hook = None
+        return result, len(built)
+
+    def test_plain_scan_builds_no_exec_rows(self, engine):
+        result, count = self._count_exec_rows(
+            engine, "SELECT phn, city FROM customer WHERE cc = '44'")
+        assert count == 0 and engine.last_plan == "code"
+        assert [r["phn"] for r in result] == ["1111", "2222", "3333"]
+
+    def test_range_group_aggregate_builds_no_exec_rows(self, engine):
+        result, count = self._count_exec_rows(
+            engine,
+            "SELECT phn, COUNT(*) AS n, SUM(amount) AS s FROM orders "
+            "WHERE amount >= 10 AND amount <= 30 GROUP BY phn")
+        assert count == 0 and engine.last_plan == "code"
+        assert [(r["phn"], r["n"], r["s"]) for r in result] == \
+            [("1111", 2, 30), ("4444", 1, 30)]
+
+    def test_join_falls_back_to_rows(self, engine):
+        _, count = self._count_exec_rows(
+            engine, "SELECT c.city FROM customer c JOIN orders o ON c.phn = o.phn")
+        assert count > 0 and engine.last_plan == "row"
+
+    def test_residual_predicate_falls_back(self, engine):
+        _, count = self._count_exec_rows(
+            engine, "SELECT phn FROM customer WHERE LENGTH(city) = 3")
+        assert count > 0 and engine.last_plan == "row"
+
+    def test_group_by_expression_falls_back(self, engine):
+        _, count = self._count_exec_rows(
+            engine, "SELECT UPPER(city) AS c, COUNT(*) AS n FROM customer "
+                    "GROUP BY UPPER(city)")
+        assert count > 0 and engine.last_plan == "row"
+
+    def test_min_max_ride_dictionary_order(self, engine):
+        result = engine.query(
+            "SELECT MIN(city) AS lo, MAX(city) AS hi FROM customer")
+        row = result.tuples()[0]
+        assert (row["lo"], row["hi"]) == ("edi", "nyc")
+        assert engine.last_plan == "code"
+
+    def test_count_distinct_on_codes(self, engine):
+        assert engine.scalar(
+            "SELECT COUNT(DISTINCT street) FROM customer") == 3
+        assert engine.last_plan == "code"
+
+    def test_order_by_rides_rank_index(self, engine):
+        result = engine.query(
+            "SELECT phn, city FROM customer WHERE cc = '01' ORDER BY city DESC, phn")
+        assert engine.last_plan == "code"
+        assert [r["phn"] for r in result] == ["4444", "5555", "4444"]
+
+    def test_aggregate_over_empty_relation(self, engine):
+        result = engine.query(
+            "SELECT COUNT(*) AS n, SUM(amount) AS s FROM orders WHERE amount > 999")
+        row = result.tuples()[0]
+        assert row["n"] == 0 and is_null(row["s"])
+        assert engine.last_plan == "code"
+
+    def test_having_over_codes(self, engine):
+        result = engine.query(
+            "SELECT zip, COUNT(*) AS n FROM customer GROUP BY zip "
+            "HAVING COUNT(*) > 1 AND zip = 'EH8'")
+        assert [(r["zip"], r["n"]) for r in result] == [("EH8", 3)]
+        assert engine.last_plan == "code"
+
+    def test_embedded_aggregate_in_item(self, engine):
+        result = engine.query(
+            "SELECT zip, COUNT(*) + 1 AS n1 FROM customer GROUP BY zip ORDER BY zip")
+        assert [(r["zip"], r["n1"]) for r in result] == \
+            [("07974", 3), ("10012", 2), ("EH8", 4)]
+
+    def test_use_columns_false_disables_everything(self, database):
+        engine = SQLEngine(database, use_columns=False)
+        result = engine.query("SELECT phn FROM customer WHERE city = 'edi'")
+        assert engine.last_plan == "row"
+        assert [r["phn"] for r in result] == ["1111", "2222"]

@@ -203,3 +203,84 @@ class TestSemandaqCLI:
         relation_to_csv(relation, data_path)
         with pytest.raises(SystemExit):
             semandaq_main([str(data_path)])
+
+
+class TestSessionSQL:
+    def test_sql_runs_through_the_session(self, session):
+        result = session.sql(
+            "SELECT zip, COUNT(*) AS n FROM customer GROUP BY zip ORDER BY zip")
+        assert [(t["zip"], t["n"]) for t in result] == [("07974", 1), ("EH8", 3)]
+
+    def test_sql_result_name(self, session):
+        result = session.sql("SELECT phn FROM customer", result_name="phones")
+        assert result.schema.name == "phones"
+
+    def test_sql_engine_is_cached(self, session):
+        session.sql("SELECT phn FROM customer")
+        first = session._sql_engine
+        session.sql("SELECT phn FROM customer")
+        assert session._sql_engine is first
+
+    def test_sql_honours_engine_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_THRESHOLD", "0")
+        relation = CustomerGenerator(seed=11).generate(60)
+        sequential = SemandaqSession(relation.copy())
+        parallel = SemandaqSession(relation.copy(), engine="parallel", workers=2)
+        query = ("SELECT city, COUNT(*) AS n, MIN(zip) AS z FROM customer "
+                 "WHERE cc >= '0' GROUP BY city ORDER BY city")
+        expected = [t.values for t in sequential.sql(query)]
+        assert [t.values for t in parallel.sql(query)] == expected
+        assert parallel._sql_engine.last_plan == "code"
+
+    def test_sql_sees_repairs(self, session):
+        before = session.sql(
+            "SELECT COUNT(DISTINCT street) AS s FROM customer WHERE zip = 'EH8'")
+        assert before.tuples()[0]["s"] == 2
+        session.apply_repair("customer")
+        after = session.sql(
+            "SELECT COUNT(DISTINCT street) AS s FROM customer WHERE zip = 'EH8'")
+        assert after.tuples()[0]["s"] == 1
+
+
+class TestCLISql:
+    def _data(self, tmp_path):
+        relation = Relation.from_dicts(SCHEMA, ROWS)
+        data_path = tmp_path / "customer.csv"
+        relation_to_csv(relation, data_path)
+        return data_path
+
+    def test_sql_without_constraints(self, tmp_path, capsys):
+        data_path = self._data(tmp_path)
+        exit_code = semandaq_main([
+            str(data_path), "--sql",
+            "SELECT zip, COUNT(*) AS n FROM customer GROUP BY zip ORDER BY zip"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "EH8" in captured and "(2 row(s))" in captured
+        assert "violations" not in captured  # no detection without constraints
+
+    def test_sql_with_constraints_still_detects(self, tmp_path, capsys):
+        data_path = self._data(tmp_path)
+        constraints_path = tmp_path / "cfds.txt"
+        constraints_path.write_text(CFD_BLOCK, encoding="utf-8")
+        exit_code = semandaq_main([
+            str(data_path), str(constraints_path),
+            "--sql", "SELECT phn FROM customer WHERE city = 'edi'"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "(2 row(s))" in captured and "violations" in captured
+
+    def test_sql_with_repair_but_no_constraints_rejected(self, tmp_path):
+        data_path = self._data(tmp_path)
+        with pytest.raises(SystemExit):
+            semandaq_main([str(data_path), "--sql", "SELECT phn FROM customer",
+                           "--repair", str(tmp_path / "out.csv")])
+        assert not (tmp_path / "out.csv").exists()
+
+    def test_sql_with_engine_knobs(self, tmp_path, capsys):
+        data_path = self._data(tmp_path)
+        exit_code = semandaq_main([
+            str(data_path), "--engine", "serial",
+            "--sql", "SELECT COUNT(*) AS n FROM customer WHERE zip >= 'A'"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0 and "(1 row(s))" in captured
