@@ -8,8 +8,10 @@ on ``Y`` once, then scan the qualifying ``R1`` tuples.
 
 The default implementation is columnar: pattern constants are pre-encoded
 to dictionary-code sets on each side, the scans read integer code arrays,
-and the cross-relation correspondence keys are built from per-code string
-caches (``str`` is computed once per distinct value, not once per tuple).
+and the cross-relation correspondence keys are *bridged codes* — string-mode
+:class:`~repro.relational.columns.DictionaryBridge` translations map both
+sides into one canonical code space, so the anti-join compares small
+integer tuples and never materialises a string per tuple.
 ``use_columns=False`` restores the row-at-a-time scan; both produce
 identical reports.  ``engine=``/``workers=`` route the columnar anti-join
 through the chunked execution engine (:mod:`repro.engine`): both sides
@@ -98,25 +100,40 @@ class CINDDetector:
 
     def _detect_one_columnar(self, cind: CIND, left: Relation,
                              right: Relation) -> list[CINDViolation]:
+        """Bridged-code anti-join: no string tuple is ever materialised.
+
+        CIND correspondence compares keys by string equality — an
+        equivalence relation per attribute — so comparisons run entirely
+        on *canonical* codes: each RHS code maps through a string-mode
+        self-bridge to the first RHS code sharing its string, and each
+        LHS code maps through a string-mode cross-bridge to that same
+        canonical RHS code (or :data:`~repro.relational.columns.NO_PARTNER`
+        when the RHS dictionary lacks the string — which already proves
+        the violation).  An LHS key matches some RHS key iff the
+        canonical code tuples are equal, so the code-level anti-join is
+        exact.
+        """
         rhs_tests = self._compile_pattern(right, cind.rhs_pattern)
         rhs_columns = [right.columns.column(a) for a in cind.rhs_attributes]
         rhs_arrays = [column.codes for column in rhs_columns]
-        rhs_strings = [column.strings for column in rhs_columns]
+        rhs_canons = [column.bridge_to(column, mode="string").translation
+                      for column in rhs_columns]
 
-        right_keys: set[tuple[str, ...]] = set()
+        right_keys: set[tuple[int, ...]] = set()
         for tid in right.tids():
             if any(codes[tid] not in allowed for codes, allowed in rhs_tests):
                 continue
             key_codes = [codes[tid] for codes in rhs_arrays]
             if NULL_CODE in key_codes:
                 continue
-            right_keys.add(tuple(strings[code]
-                                 for strings, code in zip(rhs_strings, key_codes)))
+            right_keys.add(tuple(canon[code]
+                                 for canon, code in zip(rhs_canons, key_codes)))
 
         lhs_tests = self._compile_pattern(left, cind.lhs_pattern)
         lhs_columns = [left.columns.column(a) for a in cind.lhs_attributes]
         lhs_arrays = [column.codes for column in lhs_columns]
-        lhs_strings = [column.strings for column in lhs_columns]
+        bridges = [lhs_column.bridge_to(rhs_column, mode="string").translation
+                   for lhs_column, rhs_column in zip(lhs_columns, rhs_columns)]
 
         violations: list[CINDViolation] = []
         for tid in left.tids():
@@ -126,8 +143,8 @@ class CINDDetector:
             if NULL_CODE in key_codes:
                 violations.append(CINDViolation(cind, tid))
                 continue
-            key = tuple(strings[code] for strings, code in zip(lhs_strings, key_codes))
-            if key not in right_keys:
+            key = tuple(bridge[code] for bridge, code in zip(bridges, key_codes))
+            if key not in right_keys:  # NO_PARTNER components always miss
                 violations.append(CINDViolation(cind, tid))
         return violations
 

@@ -24,6 +24,7 @@ suite through the chunked path).
 from repro.engine.chunker import Chunk, Chunker
 from repro.engine.detect import ChunkedCFDEngine, ChunkedCINDEngine
 from repro.engine.discover import ChunkedPartitionEngine
+from repro.engine.join import ChunkedJoinEngine
 from repro.engine.executor import (
     ENGINES,
     ExecutorPool,
@@ -40,6 +41,7 @@ __all__ = [
     "Chunker",
     "ChunkedCFDEngine",
     "ChunkedCINDEngine",
+    "ChunkedJoinEngine",
     "ChunkedPartitionEngine",
     "ENGINES",
     "ExecutorPool",

@@ -200,18 +200,27 @@ class ChunkedCINDEngine:
                 self._database.relation(cind.rhs_relation))
 
     @staticmethod
-    def _side_spec(relation, pattern, attributes, with_strings: bool) -> dict[str, Any]:
+    def _side_spec(relation, pattern, attributes, partners=None) -> dict[str, Any]:
+        """Code-level spec for one side of the anti-join.
+
+        Every key column ships a string-mode bridge translation: the RHS
+        side bridges each column to *itself* (canonicalising codes that
+        spell the same string), the LHS side passes *partners* — the RHS
+        correspondence columns — so its codes translate straight into the
+        same canonical RHS code space.  Workers then anti-join on integer
+        tuples; no string ever crosses a process boundary.
+        """
         store = relation.columns
         columns = [store.column(a) for a in attributes]
-        spec: dict[str, Any] = {
+        targets = partners if partners is not None else columns
+        return {
             "tests": [(store.column(attribute).codes,
                        constant_code_set(store.column(attribute), constant))
                       for attribute, constant in pattern.constants().items()],
             "key_arrays": [column.codes for column in columns],
+            "key_bridges": [column.bridge_to(target, mode="string").translation
+                            for column, target in zip(columns, targets)],
         }
-        if with_strings:
-            spec["key_strings"] = [column.strings for column in columns]
-        return spec
 
     def _ensure_handle(self) -> StateHandle:
         versions = tuple(version
@@ -222,10 +231,11 @@ class ChunkedCINDEngine:
             state: dict[str, Any] = {}
             for i, cind in enumerate(self._cinds):
                 left, right = self._relations(cind)
+                partners = [right.columns.column(a) for a in cind.rhs_attributes]
                 state[f"{i}:l"] = self._side_spec(
-                    left, cind.lhs_pattern, cind.lhs_attributes, with_strings=True)
+                    left, cind.lhs_pattern, cind.lhs_attributes, partners=partners)
                 state[f"{i}:r"] = self._side_spec(
-                    right, cind.rhs_pattern, cind.rhs_attributes, with_strings=False)
+                    right, cind.rhs_pattern, cind.rhs_attributes)
             supersedes = self._handle.token if self._handle is not None else None
             self._handle = StateHandle(state, supersedes=supersedes)
             self._versions = versions
@@ -238,7 +248,8 @@ class ChunkedCINDEngine:
         indices = list(indices)
         handle = self._ensure_handle()
 
-        # phase 1: qualifying RHS keys per CIND (code tuples, merged by union).
+        # phase 1: qualifying RHS keys per CIND (canonical code tuples,
+        # merged by union).
         rhs_rows = sum(len(self._relations(self._cinds[i])[1]) for i in indices)
         rhs_tasks: list[tuple[str, Any]] = []
         rhs_spans: list[tuple[int, int]] = []
@@ -249,18 +260,13 @@ class ChunkedCINDEngine:
             rhs_tasks.extend(("cind_rhs", (f"{i}:r", chunk.tids)) for chunk in chunks)
         rhs_results = self._pool.run(handle, rhs_tasks, rhs_rows)
 
-        right_keys: list[frozenset[tuple[str, ...]]] = []
+        right_keys: list[frozenset[tuple[int, ...]]] = []
         for offset, i in enumerate(indices):
             start, count = rhs_spans[offset]
             merged: set[tuple[int, ...]] = set()
             for partial in rhs_results[start:start + count]:
                 merged |= partial
-            cind = self._cinds[i]
-            _, right = self._relations(cind)
-            strings = [right.columns.column(a).strings for a in cind.rhs_attributes]
-            right_keys.append(frozenset(
-                tuple(cache[code] for cache, code in zip(strings, key))
-                for key in merged))
+            right_keys.append(frozenset(merged))
 
         # phase 2: anti-join every LHS chunk against the merged key set.
         # The key set rides in each task payload rather than the broadcast

@@ -319,6 +319,146 @@ def _sql_scan(state: dict[str, Any],
     return groups
 
 
+# -- SQL join-probe phase -----------------------------------------------------
+
+
+def _join_probe(state: dict[str, Any],
+                payload: tuple[str, dict[str, Any], list[int]]) -> Any:
+    """Probe one chunk of a hash join's probe side against bridged buckets.
+
+    The broadcast state holds both relations' code arrays (``sides``,
+    index 0 = left); the query payload carries everything else: the probe
+    side, its push-down ``filters``, the join ``keys`` as ``(probe
+    position, bridge translation)`` pairs, the build side's code-keyed
+    ``buckets`` (NULL-free, tids ascending), and — for grouped probes —
+    ``group`` keys and ``aggs`` specs tagged with their side.
+
+    A probe code translates through the bridge into the build dictionary;
+    NULL (0) and :data:`~repro.relational.columns.NO_PARTNER` (-1) can
+    never equal a bucket key (buckets key codes >= 1), so misses need no
+    special-casing.  Results by shape:
+
+    * plain, ``probe_side == 0`` — joined ``(left tid, right tid)`` pairs
+      in left-major order (probe scan order, bucket order within);
+    * plain, ``probe_side == 1`` — ``build (left) tid -> [probe (right)
+      tids]`` partial matches; the parent re-emits them in left scan
+      order, restoring exactly the left-major pair order;
+    * grouped (always ``probe_side == 0``, so SUM/AVG fold order and
+      group first-occurrence order stay left-major) — ``sql_scan``-style
+      partial groups whose representative is the first ``(left tid,
+      right tid)`` pair, merged by
+      :class:`~repro.engine.sql.AggregateMerger`.
+    """
+    spec_id, query, tids = payload
+    sides = state[spec_id]["sides"]
+    probe_side = query["probe_side"]
+    arrays = sides[probe_side]
+    filters = [(arrays[position], allowed)
+               for position, allowed in query["filters"]]
+    keys = [(arrays[position], translation)
+            for position, translation in query["keys"]]
+    buckets = query["buckets"]
+    single = len(keys) == 1
+
+    if filters:
+        survivors = []
+        for tid in tids:
+            for codes, allowed in filters:
+                if codes[tid] not in allowed:
+                    break
+            else:
+                survivors.append(tid)
+    else:
+        survivors = tids
+
+    def bucket_of(tid: int) -> list[int] | None:
+        if single:
+            codes, translation = keys[0]
+            return buckets.get(translation[codes[tid]])
+        key = []
+        for codes, translation in keys:
+            partner = translation[codes[tid]]
+            if partner < 1:  # NULL or NO_PARTNER: no bucket can match
+                return None
+            key.append(partner)
+        return buckets.get(tuple(key))
+
+    group = query["group"]
+    if group is None:
+        if probe_side == 0:
+            pairs: list[tuple[int, int]] = []
+            for tid in survivors:
+                bucket = bucket_of(tid)
+                if bucket:
+                    for build_tid in bucket:
+                        pairs.append((tid, build_tid))
+            return pairs
+        matches: dict[int, list[int]] = {}
+        for tid in survivors:
+            bucket = bucket_of(tid)
+            if bucket:
+                for build_tid in bucket:
+                    seen = matches.get(build_tid)
+                    if seen is None:
+                        matches[build_tid] = [tid]
+                    else:
+                        seen.append(tid)
+        return matches
+
+    # grouped: same op-code dispatch as _sql_scan, codes picked from the
+    # (left tid, right tid) pair by each spec's side
+    steps: list[tuple[int, int, Any, Any]] = []
+    for spec in query["aggs"]:
+        kind = spec[0]
+        op = AGGREGATE_OPS[kind]
+        if kind == "count_star":
+            steps.append((op, 0, None, None))
+        elif op >= 4:  # min | max carry their ranks array
+            steps.append((op, spec[1], sides[spec[1]][spec[2]], spec[3]))
+        else:
+            steps.append((op, spec[1], sides[spec[1]][spec[2]], None))
+    key_columns = [(side, sides[side][position]) for side, position in group]
+    single_key = len(key_columns) == 1
+    groups: dict[Any, list] = {}
+    for tid in survivors:
+        bucket = bucket_of(tid)
+        if not bucket:
+            continue
+        for build_tid in bucket:
+            pair = (tid, build_tid)
+            if single_key:
+                side, codes = key_columns[0]
+                key = codes[pair[side]]
+            elif key_columns:
+                key = tuple(codes[pair[side]] for side, codes in key_columns)
+            else:
+                key = ()
+            entry = groups.get(key)
+            if entry is None:
+                entry = [pair] + [initial_aggregate_state(spec[0])
+                                  for spec in query["aggs"]]
+                groups[key] = entry
+            for index, (op, side, codes, ranks) in enumerate(steps, start=1):
+                if op == 0:
+                    entry[index] += 1
+                    continue
+                code = codes[pair[side]]
+                if code == NULL_CODE:
+                    continue
+                if op == 1:
+                    entry[index] += 1
+                elif op == 2:
+                    entry[index].add(code)
+                elif op == 3:
+                    entry[index].append(code)
+                else:
+                    rank = ranks[code]
+                    best = entry[index]
+                    if best is None or (rank < best[0] if op == 4 else rank > best[0]):
+                        entry[index] = (rank, code)
+    return groups
+
+
 # -- discovery subset-refinement phase ---------------------------------------
 
 
@@ -360,31 +500,38 @@ def _subset_check(state: dict[str, Any],
 
 
 def _cind_rhs(state: dict[str, Any], payload: tuple[str, list[int]]) -> set[tuple[int, ...]]:
-    """Collect the qualifying RHS correspondence keys (as code tuples)."""
+    """Collect the qualifying RHS correspondence keys (canonical code tuples)."""
     spec_id, tids = payload
     spec = state[spec_id]
     tests = spec["tests"]
     key_arrays = spec["key_arrays"]
+    key_bridges = spec["key_bridges"]
     keys: set[tuple[int, ...]] = set()
     for tid in tids:
         for codes, allowed in tests:
             if codes[tid] not in allowed:
                 break
         else:
-            key = tuple(codes[tid] for codes in key_arrays)
-            if NULL_CODE not in key:
-                keys.add(key)
+            key_codes = [codes[tid] for codes in key_arrays]
+            if NULL_CODE not in key_codes:
+                keys.add(tuple(bridge[code]
+                               for bridge, code in zip(key_bridges, key_codes)))
     return keys
 
 
 def _cind_lhs(state: dict[str, Any],
               payload: tuple[str, list[int], frozenset]) -> list[int]:
-    """Anti-join one LHS chunk against the broadcast RHS key set."""
+    """Anti-join one LHS chunk against the canonical RHS key set.
+
+    The spec's bridges translate LHS codes into canonical RHS codes;
+    untranslatable codes come through as ``NO_PARTNER``, which can never
+    appear in the key set, so the plain membership test covers them.
+    """
     spec_id, tids, right_keys = payload
     spec = state[spec_id]
     tests = spec["tests"]
     key_arrays = spec["key_arrays"]
-    key_strings = spec["key_strings"]
+    key_bridges = spec["key_bridges"]
     violating: list[int] = []
     for tid in tids:
         for codes, allowed in tests:
@@ -395,8 +542,8 @@ def _cind_lhs(state: dict[str, Any],
             if NULL_CODE in key_codes:
                 violating.append(tid)
                 continue
-            key = tuple(strings[code]
-                        for strings, code in zip(key_strings, key_codes))
+            key = tuple(bridge[code]
+                        for bridge, code in zip(key_bridges, key_codes))
             if key not in right_keys:
                 violating.append(tid)
     return violating
@@ -407,6 +554,7 @@ _HANDLERS = {
     "cfd_groups": _cfd_groups,
     "cind_rhs": _cind_rhs,
     "cind_lhs": _cind_lhs,
+    "join_probe": _join_probe,
     "partition_scan": _partition_scan,
     "sql_scan": _sql_scan,
     "subset_check": _subset_check,

@@ -41,6 +41,9 @@ NULL_CODE = 0
 TOMBSTONE = -1
 """The code marking a deleted (or never-live) tuple id in a code array."""
 
+NO_PARTNER = -1
+"""The bridge translation of a code whose value the target dictionary lacks."""
+
 
 def take(codes: Sequence[int], tids: Sequence[int]) -> list[int]:
     """A compact chunk view of a code array: ``codes[tid]`` per tid.
@@ -138,6 +141,102 @@ class ColumnOrder:
         return codes
 
 
+class DictionaryBridge:
+    """A code→code translation from one column's dictionary into another's.
+
+    The cross-relation substrate of code-native joins and CIND anti-joins:
+    ``translation[source code]`` is the target-dictionary code whose value
+    matches the source value, or :data:`NO_PARTNER` when the target
+    dictionary holds no such value.  NULL maps to NULL
+    (``translation[0] == 0``); join and anti-join consumers treat NULL
+    specially anyway, so the slot never decides a match.
+
+    Two match semantics exist, mirroring the two cross-relation equalities
+    in the system:
+
+    * ``"value"`` — Python ``==`` via the target's value→code table, the
+      equality SQL hash joins key their buckets with.  Target codes are
+      already canonical under this equality (interning collapses
+      ``==``-equal values to one code), so the translation composes
+      directly with code-keyed buckets.
+    * ``"string"`` — equality of ``str`` forms, the equality CIND
+      correspondence keys are compared under.  Several target codes can
+      share a string, so the translation lands on the *canonical* target
+      code (the smallest code with that string); a bridge from a column to
+      itself under this mode is exactly the canonicalizer that makes
+      target-side keys comparable with translated source keys.
+
+    A bridge is valid for one ``(source dictionary, target dictionary)``
+    state, tracked as ``(generation, size)`` per side: dictionaries only
+    grow between resets, so a size check is an exact staleness test — and
+    growth on *either* side can create partners that did not exist (an
+    insert interning a novel value mid-session), so both sides
+    participate.  :meth:`Column.bridge_to` revalidates on every access and
+    rebuilds the translation **in place** (the list identity survives), so
+    broadcast states and long-lived compiled plans holding the array stay
+    correct, exactly like code arrays and matcher sets.
+    """
+
+    __slots__ = ("source", "target", "mode", "translation",
+                 "_source_state", "_target_state")
+
+    #: match semantics a bridge can be built under.
+    MODES = ("value", "string")
+
+    def __init__(self, source: "Column", target: "Column", mode: str) -> None:
+        if mode not in self.MODES:
+            raise ValueError(f"unknown bridge mode {mode!r}; expected one of {self.MODES}")
+        self.source = source
+        self.target = target
+        self.mode = mode
+        self.translation: list[int] = []
+        self._source_state: tuple[int, int] = (-1, -1)
+        self._target_state: tuple[int, int] = (-1, -1)
+        self._rebuild()
+
+    def is_stale(self) -> bool:
+        """Whether either side's dictionary grew or reset since the build."""
+        return (self._source_state != (self.source.generation, len(self.source.values))
+                or self._target_state != (self.target.generation, len(self.target.values)))
+
+    def ensure_fresh(self) -> "DictionaryBridge":
+        """Rebuild the translation in place if either dictionary moved."""
+        if self.is_stale():
+            self._rebuild()
+        return self
+
+    def _rebuild(self) -> None:
+        source, target = self.source, self.target
+        translation = [NO_PARTNER] * len(source.values)
+        translation[NULL_CODE] = NULL_CODE
+        if self.mode == "value":
+            lookup = target._code_by_value
+            values = source.values
+            for code in range(1, len(values)):
+                partner = lookup.get(values[code])
+                if partner is not None:
+                    translation[code] = partner
+        else:
+            target_strings = target.strings
+            canonical: dict[str, int] = {}
+            for code in range(1, len(target.values)):
+                canonical.setdefault(target_strings[code], code)
+            source_strings = source.strings
+            for code in range(1, len(source.values)):
+                partner = canonical.get(source_strings[code])
+                if partner is not None:
+                    translation[code] = partner
+        self.translation[:] = translation
+        self._source_state = (source.generation, len(source.values))
+        self._target_state = (target.generation, len(target.values))
+
+    def __repr__(self) -> str:
+        matched = sum(1 for code in self.translation[1:] if code != NO_PARTNER)
+        return (f"DictionaryBridge({self.source.attribute!r} -> "
+                f"{self.target.attribute!r}, {self.mode}, "
+                f"{matched}/{max(0, len(self.translation) - 1)} matched)")
+
+
 class Column:
     """One dictionary-encoded attribute of a relation.
 
@@ -152,8 +251,9 @@ class Column:
     them in place).
     """
 
-    __slots__ = ("attribute", "codes", "values", "counts",
-                 "_code_by_value", "_matchers", "_strings", "_distances", "_order")
+    __slots__ = ("attribute", "codes", "values", "counts", "generation",
+                 "_code_by_value", "_matchers", "_strings", "_distances",
+                 "_order", "_bridges")
 
     def __init__(self, attribute: str) -> None:
         from repro.relational.types import NULL
@@ -162,11 +262,16 @@ class Column:
         self.codes: list[int] = []
         self.values: list[Any] = [NULL]
         self.counts: list[int] = [0]
+        #: bumped on every :meth:`_reset`; with the dictionary size it
+        #: identifies one dictionary state exactly (the dictionary only
+        #: grows between resets), which is what bridges validate against.
+        self.generation = 0
         self._code_by_value: dict[Any, int] = {NULL: NULL_CODE}
         self._matchers: dict[Hashable, ConstantMatcher] = {}
         self._strings: list[str] | None = None
         self._distances: dict[Hashable, dict[tuple[int, int], float]] = {}
         self._order: ColumnOrder | None = None
+        self._bridges: dict[tuple[int, str], DictionaryBridge] = {}
 
     # -- encoding ---------------------------------------------------------
 
@@ -290,12 +395,33 @@ class Column:
             return None, 0
         return self.values[best_code], best_count
 
+    # -- bridges ----------------------------------------------------------
+
+    def bridge_to(self, other: "Column", mode: str = "value") -> DictionaryBridge:
+        """The fresh code→code bridge from this dictionary into *other*'s.
+
+        Bridges are cached per ``(target column, mode)`` and revalidated on
+        every access: if either dictionary grew (or was reset) since the
+        last build, the translation array is rebuilt in place before the
+        bridge is returned.  The cache holds a strong reference to the
+        target column — bridge consumers (join plans, CIND specs) always
+        name both relations, which keep their columns alive anyway.
+        """
+        key = (id(other), mode)
+        bridge = self._bridges.get(key)
+        if bridge is None or bridge.target is not other:
+            bridge = DictionaryBridge(self, other, mode)
+            self._bridges[key] = bridge
+            return bridge
+        return bridge.ensure_fresh()
+
     # -- maintenance ------------------------------------------------------
 
     def _reset(self) -> None:
         """Forget all codes and counts in place; registered matchers survive."""
         from repro.relational.types import NULL
 
+        self.generation += 1
         self.codes.clear()
         del self.values[1:]
         del self.counts[1:]

@@ -47,6 +47,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import ReproError, SchemaError, SQLExecutionError
+from repro.relational.columns import NULL_CODE
 from repro.relational.expressions import (
     And,
     Arithmetic,
@@ -462,6 +463,290 @@ def _order_ranks(plan: CodePlan, statement: SelectStatement) -> list[tuple[int, 
     return ranks
 
 
+# -- join plan compilation ----------------------------------------------------
+#
+# Two-table INNER JOINs compile to integer hash joins on bridged codes:
+# build a code-keyed bucket table on one side, translate the other side's
+# codes through a :class:`~repro.relational.columns.DictionaryBridge`, and
+# probe.  The joined result stays paired tid arrays end to end — WHERE
+# push-down, GROUP BY and aggregates all run on the two relations' code
+# arrays, and values decode only into the output rows.
+
+
+class JoinPlan:
+    """A compiled code-native plan for one two-table INNER JOIN SELECT.
+
+    ``side`` is 0 for the first (left) table in FROM order and 1 for the
+    second; every resolved column is a ``(side, position)`` pair.  The
+    row path's name-resolution rules are baked in at compile time: an
+    unqualified reference binds to the left table first and is never
+    shadowed by the right one.
+    """
+
+    __slots__ = ("relations", "tables", "key_pairs", "filters", "grouped",
+                 "group_keys", "agg_calls", "agg_specs", "items", "names",
+                 "having", "order_ranks")
+
+    def __init__(self, relations: tuple, tables: tuple) -> None:
+        self.relations = relations  # (left Relation, right Relation)
+        self.tables = tables        # (left TableRef, right TableRef)
+        #: equi-join keys as ``(left position, right position)`` pairs.
+        self.key_pairs: list[tuple[int, int]] = []
+        #: per-side WHERE push-down: ``(position, allowed codes)`` lists.
+        self.filters: tuple[list, list] = ([], [])
+        self.grouped = False
+        #: GROUP BY keys as ``(side, position)`` pairs (empty = one group).
+        self.group_keys: tuple[tuple[int, int], ...] = ()
+        self.agg_calls: list[AggregateCall] = []
+        #: worker specs aligned with ``agg_calls`` (kinds carry the side).
+        self.agg_specs: list[tuple] = []
+        #: output layout: ("col", side, position) | ("agg", i) | ("expr", e).
+        self.items: list[tuple] = []
+        self.names: list[str] = []
+        self.having: Expression | None = None
+        #: plain-scan ORDER BY as (side, position, descending), or None.
+        self.order_ranks: list[tuple[int, int, bool]] | None = None
+
+
+def _join_position(ref: ColumnRef, sides: tuple) -> tuple[int, int] | None:
+    """``(side, schema position)`` of *ref* under the row path's binding rules.
+
+    A qualified reference resolves only against the matching binding name;
+    an unqualified one binds to the left table first (the row path sets
+    the left table's unqualified names first and never lets the right
+    table shadow them).  Unknown columns resolve to ``None`` — the caller
+    falls back and the row path raises (or NULL-evaluates) identically.
+    """
+    if ref.qualifier is not None:
+        qualifier = ref.qualifier.lower()
+        for side, (table, relation) in enumerate(sides):
+            if qualifier == table.binding_name.lower():
+                try:
+                    return side, relation.schema.position(ref.name)
+                except SchemaError:
+                    return None
+        return None
+    for side, (_, relation) in enumerate(sides):
+        try:
+            return side, relation.schema.position(ref.name)
+        except SchemaError:
+            continue
+    return None
+
+
+def _column_refs(expression: Expression) -> list[ColumnRef]:
+    """Every column reference embedded in *expression*, in walk order."""
+    found: list[ColumnRef] = []
+
+    def walk(node: Expression) -> None:
+        if isinstance(node, ColumnRef):
+            found.append(node)
+            return
+        for attribute in ("operands", "operand", "left", "right", "arguments", "values"):
+            child = getattr(node, attribute, None)
+            if isinstance(child, Expression):
+                walk(child)
+            elif isinstance(child, tuple):
+                for element in child:
+                    if isinstance(element, Expression):
+                        walk(element)
+
+    walk(expression)
+    return found
+
+
+def _as_join_key(conjunct: Expression, sides: tuple) -> tuple[int, int] | None:
+    """``(left position, right position)`` of a hash-joinable equality.
+
+    Mirrors the row planner's ``_as_equi_pair``: only a ``=`` between two
+    *qualified* column references, one per side, becomes a join key.
+    """
+    if not isinstance(conjunct, Comparison) or conjunct.operator != "=":
+        return None
+    left, right = conjunct.left, conjunct.right
+    if not isinstance(left, ColumnRef) or not isinstance(right, ColumnRef):
+        return None
+    if left.qualifier is None or right.qualifier is None:
+        return None
+    a = _join_position(left, sides)
+    b = _join_position(right, sides)
+    if a is None or b is None or a[0] == b[0]:
+        return None
+    if a[0] != 0:
+        a, b = b, a
+    return a[1], b[1]
+
+
+def _compile_join_filter(conjunct: Expression,
+                         sides: tuple) -> tuple[int, int, set[int]] | None:
+    """Compile a single-side conjunct to ``(side, position, allowed codes)``.
+
+    The owning side is fixed by name resolution *before* compilation (an
+    unqualified name present in both tables belongs to the left one), so
+    a conjunct that fails to compile on its owner never silently filters
+    the other side.
+    """
+    refs = _column_refs(conjunct)
+    if not refs:
+        return None
+    owner_sides: set[int] = set()
+    for ref in refs:
+        resolved = _join_position(ref, sides)
+        if resolved is None:
+            return None
+        owner_sides.add(resolved[0])
+    if len(owner_sides) != 1:
+        return None
+    side = owner_sides.pop()
+    table, relation = sides[side]
+    compiled = compile_filter(relation, table, conjunct, single_table=True)
+    if compiled is None:
+        return None
+    position, codes = compiled
+    return side, position, codes
+
+
+def _join_aggregate_spec(call: AggregateCall, sides: tuple) -> tuple | None:
+    if call.function not in AGGREGATE_FUNCTIONS:
+        return None
+    if call.argument is None:
+        return ("count_star",)
+    if not isinstance(call.argument, ColumnRef):
+        return None
+    resolved = _join_position(call.argument, sides)
+    if resolved is None:
+        return None
+    side, position = resolved
+    if call.function == "count":
+        return ("count_distinct", side, position) if call.distinct \
+            else ("count", side, position)
+    if call.function in ("sum", "avg"):
+        return (call.function, side, position, call.distinct)
+    return (call.function, side, position)  # min | max
+
+
+def _register_join_aggregate(plan: JoinPlan, registry: dict[AggregateCall, int],
+                             call: AggregateCall, sides: tuple) -> int | None:
+    index = registry.get(call)
+    if index is not None:
+        return index
+    spec = _join_aggregate_spec(call, sides)
+    if spec is None:
+        return None
+    index = len(plan.agg_calls)
+    registry[call] = index
+    plan.agg_calls.append(call)
+    plan.agg_specs.append(spec)
+    return index
+
+
+def compile_join_plan(database: "Database",
+                      statement: SelectStatement) -> JoinPlan | None:
+    """Compile a two-table INNER JOIN to a :class:`JoinPlan`, or ``None``.
+
+    Requirements mirror what the hash join can express exactly: exactly
+    two tables (``FROM a, b`` or an explicit inner ``JOIN ... ON``) with
+    distinct binding names, at least one both-qualified equi conjunct, and
+    every remaining conjunct compiling to a single-side code-set filter.
+    Anything else — cross products, residual predicates, expression-valued
+    items or group keys — falls back to the row path, which produces
+    byte-identical results.
+    """
+    tables = list(statement.tables) + [join.table for join in statement.joins]
+    if len(tables) != 2:
+        return None
+    if any(join.kind != "inner" for join in statement.joins):
+        return None
+    if tables[0].binding_name.lower() == tables[1].binding_name.lower():
+        return None  # ambiguous bindings: leave to the row path
+    try:
+        relations = tuple(database.relation(table.relation_name) for table in tables)
+    except ReproError:
+        return None  # unknown relation: the row path raises the canonical error
+    sides = tuple(zip(tables, relations))
+    plan = JoinPlan(relations, tuple(tables))
+
+    conjuncts = flatten_conjuncts(statement.where)
+    for join in statement.joins:
+        conjuncts.extend(flatten_conjuncts(join.condition))
+    for conjunct in conjuncts:
+        key = _as_join_key(conjunct, sides)
+        if key is not None:
+            plan.key_pairs.append(key)
+            continue
+        compiled = _compile_join_filter(conjunct, sides)
+        if compiled is None:
+            return None
+        side, position, codes = compiled
+        plan.filters[side].append((position, codes))
+    if not plan.key_pairs:
+        return None  # no equi keys: the row path nested-loops this
+
+    try:
+        items = expanded_items(database, statement)
+    except SQLExecutionError:
+        return None  # e.g. a bad 'alias.*': the row path raises identically
+    plan.names = [name for name, _ in items]
+
+    if statement.has_aggregates():
+        plan.grouped = True
+        keys: list[tuple[int, int]] = []
+        for expression in statement.group_by:
+            if not isinstance(expression, ColumnRef):
+                return None  # GROUP BY on an expression: row path
+            resolved = _join_position(expression, sides)
+            if resolved is None:
+                return None
+            keys.append(resolved)
+        plan.group_keys = tuple(keys)
+
+        registry: dict[AggregateCall, int] = {}
+        for _, expression in items:
+            if isinstance(expression, AggregateCall):
+                index = _register_join_aggregate(plan, registry, expression, sides)
+                if index is None:
+                    return None
+                plan.items.append(("agg", index))
+            else:
+                for call in collect_aggregates(expression):
+                    if _register_join_aggregate(plan, registry, call, sides) is None:
+                        return None
+                plan.items.append(("expr", expression))
+        plan.having = statement.having
+        for call in collect_aggregates(statement.having):
+            if _register_join_aggregate(plan, registry, call, sides) is None:
+                return None
+        return plan
+
+    for _, expression in items:
+        resolved = _join_position(expression, sides) \
+            if isinstance(expression, ColumnRef) else None
+        if resolved is None:
+            return None  # computed select items: row path
+        plan.items.append(("col",) + resolved)
+    plan.order_ranks = _join_order_ranks(plan, statement)
+    return plan
+
+
+def _join_order_ranks(plan: JoinPlan,
+                      statement: SelectStatement) -> list[tuple[int, int, bool]] | None:
+    """ORDER BY as rank sorts over joined pairs (see :func:`_order_ranks`)."""
+    if not statement.order_by or statement.distinct:
+        return None
+    name_positions = {name.lower(): index for index, name in enumerate(plan.names)}
+    ranks: list[tuple[int, int, bool]] = []
+    for order_item in statement.order_by:
+        expression = order_item.expression
+        if not isinstance(expression, ColumnRef) or expression.qualifier is not None:
+            return None
+        output_index = name_positions.get(expression.name.lower())
+        if output_index is None:
+            return None
+        _, side, position = plan.items[output_index]
+        ranks.append((side, position, order_item.descending))
+    return ranks
+
+
 # -- execution-side helpers ---------------------------------------------------
 
 
@@ -518,3 +803,87 @@ def finalize_aggregate(spec: tuple, state: Any, relation: "Relation") -> Any:
     if state is None:  # min | max over an empty / all-NULL group
         return NULL
     return column.values[state[1]]
+
+
+def build_join_buckets(plan: JoinPlan, build_side: int) -> dict[Any, list[int]]:
+    """The build side's code-keyed hash buckets, in scan order.
+
+    Push-down filters of the build side apply here — before the buckets
+    exist, so filtered-out tuples are never probed.  NULL join keys never
+    match (SQL semantics, mirrored from the row planner's hash join), so
+    tuples carrying one are skipped.  Keys are a bare code for one join
+    pair and a code tuple otherwise; each bucket's tids are ascending
+    (scan order), which is what keeps the probe output left-major.
+    """
+    relation = plan.relations[build_side]
+    store = relation.columns
+    key_arrays = [store.column_at(pair[build_side]).codes for pair in plan.key_pairs]
+    filters = [(store.column_at(position).codes, allowed)
+               for position, allowed in plan.filters[build_side]]
+    single = len(key_arrays) == 1
+    buckets: dict[Any, list[int]] = {}
+    for tid in relation.tids():
+        if any(codes[tid] not in allowed for codes, allowed in filters):
+            continue
+        if single:
+            key: Any = key_arrays[0][tid]
+            if key == NULL_CODE:
+                continue
+        else:
+            key_codes = [codes[tid] for codes in key_arrays]
+            if NULL_CODE in key_codes:
+                continue
+            key = tuple(key_codes)
+        bucket = buckets.get(key)
+        if bucket is None:
+            buckets[key] = [tid]
+        else:
+            bucket.append(tid)
+    return buckets
+
+
+def join_query_payload(plan: JoinPlan, probe_side: int,
+                       buckets: dict[Any, list[int]]) -> dict[str, Any]:
+    """The picklable per-query half of the ``join_probe`` worker contract.
+
+    The broadcast state carries both relations' code arrays (shipped once
+    per version pair); everything query-specific — probe-side filters, the
+    probe→build bridge translations, the build-side buckets, group keys
+    and aggregate specs — rides in each task payload.  The translations
+    are the live arrays of value-mode
+    :class:`~repro.relational.columns.DictionaryBridge`\\ s, revalidated
+    here on every query, so a dictionary grown on *either* side since the
+    last join is re-bridged before any probe runs.
+    """
+    build_side = 1 - probe_side
+    probe_store = plan.relations[probe_side].columns
+    build_store = plan.relations[build_side].columns
+    keys = []
+    for pair in plan.key_pairs:
+        probe_column = probe_store.column_at(pair[probe_side])
+        build_column = build_store.column_at(pair[build_side])
+        keys.append((pair[probe_side],
+                     probe_column.bridge_to(build_column).translation))
+    aggs: list[tuple] = []
+    for spec in plan.agg_specs:
+        if spec[0] in ("min", "max"):
+            ranks = plan.relations[spec[1]].columns.column_at(spec[2]).order().ranks
+            aggs.append((spec[0], spec[1], spec[2], ranks))
+        else:
+            aggs.append(spec)
+    return {
+        "probe_side": probe_side,
+        "filters": plan.filters[probe_side],
+        "keys": keys,
+        "buckets": buckets,
+        "group": plan.group_keys if plan.grouped else None,
+        "aggs": aggs,
+    }
+
+
+def finalize_join_aggregate(spec: tuple, state: Any, relations: tuple) -> Any:
+    """Finalize one merged join-aggregate state (specs carry the side)."""
+    if spec[0] == "count_star":
+        return state
+    return finalize_aggregate((spec[0], spec[2]) + tuple(spec[3:]), state,
+                              relations[spec[1]])

@@ -58,13 +58,18 @@ from repro.relational.sql.ast import (
 )
 from repro.relational.sql.columnar import (
     CodePlan,
+    JoinPlan,
+    build_join_buckets,
     collect_aggregates,
     compile_filter,
+    compile_join_plan,
     compile_plan,
     empty_aggregate_state,
     expanded_items,
     finalize_aggregate,
+    finalize_join_aggregate,
     flatten_conjuncts,
+    join_query_payload,
     query_payload,
     rewrite_aggregates,
 )
@@ -272,7 +277,9 @@ class SQLExecutor:
         self._pool = pool
         #: per-relation chunked engines (broadcast state survives queries).
         self._engines: dict[str, Any] = {}
-        #: the path the last SELECT took: "code" or "row" (diagnostics).
+        #: per-relation-pair chunked join engines, keyed by binding pair.
+        self._join_engines: dict[tuple[str, str], Any] = {}
+        #: the path the last SELECT took: "code", "join" or "row".
         self.last_plan: str | None = None
 
     # -- public ------------------------------------------------------------
@@ -312,6 +319,12 @@ class SQLExecutor:
                 self.last_plan = "code"
                 output_rows, names, pre_ordered = self._execute_code_plan(plan)
                 ran_code = True
+            else:
+                join_plan = compile_join_plan(self._database, statement)
+                if join_plan is not None:
+                    self.last_plan = "join"
+                    output_rows, names, pre_ordered = self._execute_join_plan(join_plan)
+                    ran_code = True
 
         if not ran_code:
             rows, residual = _FromPlanner(self._database, statement,
@@ -475,6 +488,163 @@ class SQLExecutor:
             value = column.values[column.codes[tid]]
             bindings[name.lower()] = value
             bindings[f"{binding}.{name.lower()}"] = value
+        return EvaluationContext(bindings)
+
+    # -- code-native join execution ------------------------------------------
+
+    def _execute_join_plan(self, plan: JoinPlan) -> tuple[list[list[Any]], list[str], bool]:
+        """Run a compiled hash-join plan; returns (rows, names, pre-ordered)."""
+        left, right = plan.relations
+        # Grouped probes must walk the pairs left-major (SUM/AVG fold order
+        # and group first-occurrence order); plain scans build on the
+        # smaller side and restore left-major order from the match lists.
+        probe_side = 0 if plan.grouped or len(right) <= len(left) else 1
+        buckets = build_join_buckets(plan, 1 - probe_side)
+        query = join_query_payload(plan, probe_side, buckets)
+        probe = plan.relations[probe_side]
+
+        if self._pool is None:
+            from repro.engine import worker
+            from repro.engine.join import JOIN_SPEC, join_state
+
+            [result] = worker.run_local(
+                join_state(left, right),
+                [("join_probe", (JOIN_SPEC, query, probe.tids()))])
+        else:
+            engine = self._join_engine(left, right)
+            if plan.grouped:
+                result = engine.probe_grouped(query)
+            elif probe_side == 0:
+                result = engine.probe_pairs(query)
+            else:
+                result = engine.probe_matches(query)
+
+        if plan.grouped:
+            return self._join_grouped_output(plan, result), list(plan.names), False
+        if probe_side == 1:
+            # matches are keyed by left (build) tid; left scan order is
+            # ascending tids and each right-tid list is already ascending,
+            # so sorted re-emission restores the exact left-major order
+            pairs = [(left_tid, right_tid)
+                     for left_tid in sorted(result)
+                     for right_tid in result[left_tid]]
+        else:
+            pairs = result
+        pairs, pre_ordered = self._join_order(plan, pairs)
+        stores = (left.columns, right.columns)
+        columns = [(side, stores[side].column_at(position))
+                   for _, side, position in plan.items]
+        output_rows = [[column.values[column.codes[pair[side]]]
+                        for side, column in columns]
+                       for pair in pairs]
+        return output_rows, list(plan.names), pre_ordered
+
+    def _join_engine(self, left: Relation, right: Relation) -> Any:
+        """The per-pair chunked join engine (broadcast state cached)."""
+        from repro.engine.join import ChunkedJoinEngine
+
+        key = (left.name.lower(), right.name.lower())
+        engine = self._join_engines.get(key)
+        if engine is None or engine.relations[0] is not left \
+                or engine.relations[1] is not right:
+            engine = ChunkedJoinEngine(left, right, self._pool)
+            self._join_engines[key] = engine
+        return engine
+
+    def _join_order(self, plan: JoinPlan,
+                    pairs: list[tuple[int, int]]) -> tuple[list[tuple[int, int]], bool]:
+        """Order joined pairs by dictionary ranks when the plan allows it.
+
+        The pair-level twin of :meth:`_code_order` — same ascending rank
+        tuples, full reverse when every key is descending, stable per-key
+        re-sorts for mixed directions.
+        """
+        order = plan.order_ranks
+        if not order:
+            return pairs, False
+        stores = tuple(relation.columns for relation in plan.relations)
+        keys = [(stores[side].column_at(position).order().ranks,
+                 stores[side].column_at(position).codes, side, descending)
+                for side, position, descending in order]
+        flags = [descending for _, _, _, descending in keys]
+        if any(flags) and not all(flags):
+            # mixed directions: sort stably, last key first
+            ordered = list(pairs)
+            for ranks, codes, side, descending in reversed(keys):
+                ordered = sorted(
+                    ordered,
+                    key=lambda pair, r=ranks, c=codes, s=side: r[c[pair[s]]],
+                    reverse=descending)
+            return ordered, True
+        ordered = sorted(pairs, key=lambda pair: tuple(ranks[codes[pair[side]]]
+                                                       for ranks, codes, side, _ in keys))
+        if all(flags):
+            ordered = list(reversed(ordered))
+        return ordered, True
+
+    def _join_grouped_output(self, plan: JoinPlan,
+                             merged: dict[Any, list]) -> list[list[Any]]:
+        """Assemble grouped join output from merged partial-aggregate states."""
+        relations = plan.relations
+        if not merged and not plan.group_keys:
+            # aggregates without GROUP BY over no joined rows still emit one
+            merged = {(): None}
+        output: list[list[Any]] = []
+        for entry in merged.values():
+            if entry is None:
+                representative = None
+                states = [empty_aggregate_state(spec) for spec in plan.agg_specs]
+            else:
+                representative = entry[0]
+                states = entry[1:]
+            finalized = [finalize_join_aggregate(spec, state, relations)
+                         for spec, state in zip(plan.agg_specs, states)]
+            aggregate_values = dict(zip(plan.agg_calls, finalized))
+            context: list[EvaluationContext] = []
+
+            def group_context() -> EvaluationContext:
+                if not context:
+                    context.append(self._join_representative_context(plan, representative))
+                return context[0]
+
+            if plan.having is not None:
+                having_value = rewrite_aggregates(
+                    plan.having, aggregate_values).evaluate(group_context())
+                if not truth(having_value):
+                    continue
+            values = []
+            for kind, ref in plan.items:
+                if kind == "agg":
+                    values.append(finalized[ref])
+                else:
+                    values.append(rewrite_aggregates(
+                        ref, aggregate_values).evaluate(group_context()))
+            output.append(values)
+        return output
+
+    def _join_representative_context(self, plan: JoinPlan,
+                                     pair: tuple[int, int] | None) -> EvaluationContext:
+        """The binding context of a group's first joined pair.
+
+        Bindings mirror :meth:`_ExecRow.merged`: the left table's
+        unqualified names are set first and the right table never shadows
+        them; qualified names always bind to their own table.
+        """
+        if pair is None:
+            return EvaluationContext({})
+        bindings: dict[str, Any] = {}
+        for side in (0, 1):
+            relation = plan.relations[side]
+            store = relation.columns
+            binding = plan.tables[side].binding_name.lower()
+            tid = pair[side]
+            for position, name in enumerate(relation.schema.attribute_names):
+                column = store.column_at(position)
+                value = column.values[column.codes[tid]]
+                key = name.lower()
+                if side == 0 or key not in bindings:
+                    bindings[key] = value
+                bindings[f"{binding}.{key}"] = value
         return EvaluationContext(bindings)
 
     # -- projection without aggregation ----------------------------------------

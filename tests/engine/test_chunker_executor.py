@@ -131,19 +131,22 @@ class TestPools:
 
     def test_serial_pool_runs_tasks_in_order(self):
         pool = SerialPool()
-        handle = StateHandle({"s": {"tests": [], "key_arrays": [[1, 2, 3]]}})
+        handle = StateHandle({"s": {"tests": [], "key_arrays": [[1, 2, 3]],
+                                    "key_bridges": [list(range(4))]}})
         results = pool.run(handle, [("cind_rhs", ("s", [0])), ("cind_rhs", ("s", [2]))])
         assert results == [{(1,)}, {(3,)}]
 
     def test_multiprocessing_pool_small_input_falls_back_in_process(self):
         pool = MultiprocessingPool(workers=2, min_rows=10_000)
-        handle = StateHandle({"s": {"tests": [], "key_arrays": [[7, 8]]}})
+        handle = StateHandle({"s": {"tests": [], "key_arrays": [[7, 8]],
+                                    "key_bridges": [list(range(9))]}})
         results = pool.run(handle, [("cind_rhs", ("s", [0, 1]))], rows=2)
         assert results == [{(7,), (8,)}]
 
     def test_multiprocessing_pool_real_processes(self):
         pool = MultiprocessingPool(workers=2, min_rows=0)
-        handle = StateHandle({"s": {"tests": [], "key_arrays": [[5, 6, 7]]}})
+        handle = StateHandle({"s": {"tests": [], "key_arrays": [[5, 6, 7]],
+                                    "key_bridges": [list(range(8))]}})
         results = pool.run(
             handle, [("cind_rhs", ("s", [0])), ("cind_rhs", ("s", [1, 2]))], rows=3)
         assert results == [{(5,)}, {(6,), (7,)}]

@@ -494,9 +494,16 @@ class TestCodeNativePlans:
         assert [(r["phn"], r["n"], r["s"]) for r in result] == \
             [("1111", 2, 30), ("4444", 1, 30)]
 
-    def test_join_falls_back_to_rows(self, engine):
-        _, count = self._count_exec_rows(
+    def test_equi_join_builds_no_exec_rows(self, engine):
+        result, count = self._count_exec_rows(
             engine, "SELECT c.city FROM customer c JOIN orders o ON c.phn = o.phn")
+        assert count == 0 and engine.last_plan == "join"
+        assert len(result) == 4
+
+    def test_non_equi_join_falls_back(self, engine):
+        _, count = self._count_exec_rows(
+            engine, "SELECT t1.phn, t2.phn FROM customer t1, customer t2 "
+                    "WHERE t1.zip = t2.zip AND t1.street <> t2.street")
         assert count > 0 and engine.last_plan == "row"
 
     def test_residual_predicate_falls_back(self, engine):
