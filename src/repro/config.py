@@ -1,0 +1,114 @@
+"""Centralised, validated parsing of the ``REPRO_*`` environment knobs.
+
+Every process-level default the library reads from the environment goes
+through this module, so a malformed value produces one clear
+:class:`ConfigError` instead of a bare ``int()`` traceback deep inside
+``resolve_pool``.  The recognised variables:
+
+``REPRO_ENGINE``
+    Default execution engine (``sequential`` / ``serial`` / ``parallel``)
+    when a caller passes ``engine=None``.
+``REPRO_WORKERS``
+    Default worker count for the parallel engine.
+``REPRO_PARALLEL_THRESHOLD``
+    Minimum live-row count before the parallel engine actually forks;
+    below it work is inlined in-process.
+``REPRO_OBS``
+    Truthy value enables the :mod:`repro.obs` metrics registry at import
+    time (counters, histograms, spans).
+``REPRO_OBS_TRACE``
+    Truthy value additionally records finished spans into the in-memory
+    trace buffer (implies nothing about ``REPRO_OBS``; both are read).
+
+:class:`ConfigError` subclasses :class:`ValueError` as well as
+:class:`~repro.errors.ReproError`, so call sites (and tests) that predate
+centralisation and expect ``ValueError`` keep working.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ReproError
+
+ENGINE_ENV = "REPRO_ENGINE"
+WORKERS_ENV = "REPRO_WORKERS"
+THRESHOLD_ENV = "REPRO_PARALLEL_THRESHOLD"
+OBS_ENV = "REPRO_OBS"
+OBS_TRACE_ENV = "REPRO_OBS_TRACE"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+_FALSY = {"0", "false", "no", "off", ""}
+
+
+class ConfigError(ReproError, ValueError):
+    """A ``REPRO_*`` environment variable holds a malformed value."""
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """Parse a boolean environment variable (1/true/yes/on vs 0/false/no/off)."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    value = raw.strip().lower()
+    if value in _TRUTHY:
+        return True
+    if value in _FALSY:
+        return False
+    raise ConfigError(
+        f"{name}={raw!r} is not a boolean; expected one of "
+        f"1/true/yes/on or 0/false/no/off")
+
+
+def env_int(name: str, minimum: int | None = None) -> int | None:
+    """Parse an integer environment variable; ``None`` when unset/empty."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise ConfigError(f"{name}={raw!r} is not an integer") from None
+    if minimum is not None and value < minimum:
+        raise ConfigError(f"{name}={raw!r} must be at least {minimum}")
+    return value
+
+
+def env_choice(name: str, choices: tuple[str, ...]) -> str | None:
+    """Parse an enumerated environment variable; ``None`` when unset/empty."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return None
+    value = raw.strip().lower()
+    if value not in choices:
+        raise ConfigError(
+            f"{name}={raw!r} is not a recognised value; expected one of "
+            f"{', '.join(choices)}")
+    return value
+
+
+# -- named accessors ----------------------------------------------------------------
+
+def engine_default(choices: tuple[str, ...]) -> str | None:
+    """The ``REPRO_ENGINE`` default, validated against *choices*."""
+    return env_choice(ENGINE_ENV, choices)
+
+
+def workers_default() -> int | None:
+    """The ``REPRO_WORKERS`` default (at least 1 when set)."""
+    return env_int(WORKERS_ENV, minimum=1)
+
+
+def parallel_threshold_default() -> int | None:
+    """The ``REPRO_PARALLEL_THRESHOLD`` default (non-negative when set)."""
+    return env_int(THRESHOLD_ENV, minimum=0)
+
+
+def obs_enabled_default() -> bool:
+    """Whether ``REPRO_OBS`` asks for metrics collection."""
+    return env_flag(OBS_ENV)
+
+
+def obs_trace_default() -> bool:
+    """Whether ``REPRO_OBS_TRACE`` asks for span trace recording."""
+    return env_flag(OBS_TRACE_ENV)

@@ -35,6 +35,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Any, Sequence
 
+from repro import obs
 from repro.constraints.cfd import CFD
 from repro.constraints.tableau import PatternTuple, is_wildcard
 from repro.constraints.violations import CFDViolation, ViolationReport
@@ -69,14 +70,18 @@ class CFDDetector:
 
     def detect(self) -> ViolationReport:
         """Detect all violations of all configured CFDs."""
-        report = ViolationReport(self._relation.name, tuples_checked=len(self._relation))
-        if self._pool is not None:
-            for violations in self._engine().detect():
-                report.extend(violations)
+        with obs.span("detect.cfd", relation=self._relation.name):
+            report = ViolationReport(self._relation.name,
+                                     tuples_checked=len(self._relation))
+            if self._pool is not None:
+                for violations in self._engine().detect():
+                    report.extend(violations)
+            else:
+                for cfd in self._cfds:
+                    report.extend(self.detect_one(cfd))
+            if obs.enabled:
+                obs.inc("detect.cfd.violations", len(report.violations))
             return report
-        for cfd in self._cfds:
-            report.extend(self.detect_one(cfd))
-        return report
 
     def detect_one(self, cfd: CFD) -> list[CFDViolation]:
         """Violations of a single CFD."""
@@ -201,6 +206,8 @@ class CFDDetector:
         if attributes not in self._indexes or self._indexes[attributes].is_stale():
             self._indexes[attributes] = HashIndex(self._relation, list(attributes),
                                                   use_columns=self._use_columns)
+        elif obs.enabled:
+            obs.inc("cache.index.reuse")
         return self._indexes[attributes]
 
 
@@ -311,6 +318,8 @@ class SQLCFDDetector:
                 if group_sql is not None:
                     result = self._engine.query(group_sql)
                     report.extend(self._match_back_groups(relation, index, cfd, pattern, result))
+        if obs.enabled:
+            obs.inc("detect.cfd.violations", len(report.violations))
         return report
 
     def _match_back_single(self, relation: Relation, cfd: CFD, pattern: PatternTuple,

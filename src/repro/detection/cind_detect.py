@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
+from repro import obs
 from repro.constraints.cind import CIND
 from repro.constraints.tableau import PatternTuple
 from repro.constraints.violations import CINDViolation, ViolationReport
@@ -57,17 +58,20 @@ class CINDDetector:
 
     def detect(self) -> ViolationReport:
         """Detect all violations of all configured CINDs."""
-        names = {cind.lhs_relation for cind in self._cinds}
-        report_name = next(iter(names)) if len(names) == 1 else "multiple"
-        total = sum(len(self._database.relation(name)) for name in names)
-        report = ViolationReport(report_name, tuples_checked=total)
-        if self._pool is not None:
-            for violations in self._engine().detect():
-                report.extend(violations)
+        with obs.span("detect.cind"):
+            names = {cind.lhs_relation for cind in self._cinds}
+            report_name = next(iter(names)) if len(names) == 1 else "multiple"
+            total = sum(len(self._database.relation(name)) for name in names)
+            report = ViolationReport(report_name, tuples_checked=total)
+            if self._pool is not None:
+                for violations in self._engine().detect():
+                    report.extend(violations)
+            else:
+                for cind in self._cinds:
+                    report.extend(self.detect_one(cind))
+            if obs.enabled:
+                obs.inc("detect.cind.violations", len(report.violations))
             return report
-        for cind in self._cinds:
-            report.extend(self.detect_one(cind))
-        return report
 
     def detect_one(self, cind: CIND) -> list[CINDViolation]:
         """Violations of a single CIND."""

@@ -31,6 +31,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Sequence
 
+from repro import obs
 from repro.constraints.cfd import CFD
 from repro.constraints.tableau import PatternTuple
 from repro.discovery.itemsets import ItemsetMiner
@@ -69,6 +70,10 @@ class CFDDiscovery:
 
     def discover_constant_cfds(self) -> list[CFD]:
         """Constant CFDs with support at least ``min_support``."""
+        with obs.span("discovery.constant_cfds", relation=self._relation.name):
+            return self._discover_constant_cfds()
+
+    def _discover_constant_cfds(self) -> list[CFD]:
         miner = ItemsetMiner(self._relation, min_support=self._min_support,
                              max_size=self._max_lhs_size,
                              use_columns=self._use_columns)
@@ -97,16 +102,19 @@ class CFDDiscovery:
 
     def discover_variable_cfds(self) -> list[CFD]:
         """Variable CFDs: FDs that fail globally but hold on a conditioned subset."""
-        discovered: list[CFD] = []
-        candidates = self._candidate_fds()
-        for lhs, rhs in candidates:
-            if self._fd_holds(lhs, rhs):
-                # a plain FD: emit it as an all-wildcard CFD
-                discovered.append(CFD(self._relation.name, sorted(lhs), [rhs],
-                                      name=f"fd_{len(discovered)}"))
-                continue
-            discovered.extend(self._refine(lhs, rhs, len(discovered)))
-        return discovered
+        with obs.span("discovery.variable_cfds", relation=self._relation.name):
+            discovered: list[CFD] = []
+            candidates = self._candidate_fds()
+            if obs.enabled:
+                obs.gauge("discovery.candidate_fds", len(candidates))
+            for lhs, rhs in candidates:
+                if self._fd_holds(lhs, rhs):
+                    # a plain FD: emit it as an all-wildcard CFD
+                    discovered.append(CFD(self._relation.name, sorted(lhs), [rhs],
+                                          name=f"fd_{len(discovered)}"))
+                    continue
+                discovered.extend(self._refine(lhs, rhs, len(discovered)))
+            return discovered
 
     def discover(self) -> list[CFD]:
         """Constant plus variable CFDs."""

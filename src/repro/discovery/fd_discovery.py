@@ -24,7 +24,9 @@ discovery on dirty data requires.
 from __future__ import annotations
 
 import itertools
+import math
 
+from repro import obs
 from repro.constraints.fd import FunctionalDependency
 from repro.discovery.partitions import Partition, PartitionProvider
 from repro.errors import DiscoveryError
@@ -67,11 +69,18 @@ class FDDiscovery:
         """All minimal FDs with LHS size up to ``max_lhs_size``."""
         if len(self._relation) == 0:
             return []
+        with obs.span("discovery.fds", relation=self._relation.name):
+            return self._discover_levelwise()
+
+    def _discover_levelwise(self) -> list[FunctionalDependency]:
         found: list[FunctionalDependency] = []
         # found_lhs[rhs] = list of minimal LHS sets already emitted for rhs
         found_lhs: dict[str, list[frozenset[str]]] = {a: [] for a in self._attributes}
 
         for size in range(1, self._max_lhs_size + 1):
+            if obs.enabled:
+                obs.gauge(f"discovery.lattice.level{size}.size",
+                          math.comb(len(self._attributes), size))
             for lhs_tuple in itertools.combinations(self._attributes, size):
                 lhs = frozenset(lhs_tuple)
                 for rhs in self._attributes:

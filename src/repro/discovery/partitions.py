@@ -37,6 +37,7 @@ from __future__ import annotations
 import weakref
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
+from repro import obs
 from repro.relational.relation import Relation
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -171,13 +172,19 @@ class PartitionCache:
 
     def _current(self, version: int) -> dict[frozenset[str], Partition]:
         if version != self._version:
+            if obs.enabled and self._entries:
+                obs.inc("cache.partition.invalidate")
             self._entries.clear()
             self._version = version
         return self._entries
 
     def lookup(self, attributes: frozenset[str], version: int) -> Partition | None:
         """The cached partition for *attributes* at *version*, if any."""
-        return self._current(version).get(attributes)
+        partition = self._current(version).get(attributes)
+        if obs.enabled:
+            obs.inc("cache.partition.hit" if partition is not None
+                    else "cache.partition.miss")
+        return partition
 
     def store(self, attributes: frozenset[str], version: int,
               partition: Partition) -> None:
@@ -259,10 +266,16 @@ class PartitionProvider:
         version = self._relation.version
         cached = self._cache.lookup(attributes, version)
         if cached is not None:
+            if obs.enabled:
+                obs.inc("discovery.partition.cache_hit")
             return cached
         partition = self._compose(attributes, version) if self._use_columns else None
         if partition is None:
             partition = self._scan(attributes)
+            if obs.enabled:
+                obs.inc("discovery.partition.scan")
+        elif obs.enabled:
+            obs.inc("discovery.partition.product")
         self._cache.store(attributes, version, partition)
         return partition
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any
 
+from repro import obs
 from repro.engine.executor import ExecutorPool, StateHandle
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -47,11 +48,17 @@ class RelationBroadcastEngine:
     def _ensure_handle(self) -> StateHandle:
         """The broadcast handle, re-tokenised when the relation changed."""
         if self._handle is None:
+            if obs.enabled:
+                obs.inc("engine.broadcast.build")
             self._handle = StateHandle(self._build_state())
         elif self._version != self._relation.version:
+            if obs.enabled:
+                obs.inc("engine.broadcast.retokenize")
             self._relation.columns  # rebuild the store in place if it went stale
             self._handle = StateHandle(self._handle.state,
                                        supersedes=self._handle.token)
+        elif obs.enabled:
+            obs.inc("engine.broadcast.reuse")
         self._version = self._relation.version
         return self._handle
 

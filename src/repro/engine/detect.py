@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
+from repro import obs
 from repro.constraints.cfd import CFD
 from repro.constraints.cind import CIND
 from repro.constraints.violations import CFDViolation, CINDViolation
@@ -94,6 +95,9 @@ class ChunkedCFDEngine(RelationBroadcastEngine):
         chunks = Chunker(self._relation, **self._pool.chunk_plan(rows)).chunks()
         if not chunks:
             return [[] for _ in indices]
+        if obs.enabled:
+            obs.inc("engine.detect.runs")
+            obs.observe("engine.detect.chunks", len(chunks))
         handle = self._ensure_handle()
 
         # phase 1: scan every chunk once per selected constraint.  Results
@@ -228,6 +232,9 @@ class ChunkedCINDEngine:
                          for relation in self._relations(cind)
                          for version in (relation.version,))
         if self._handle is None or versions != self._versions:
+            if obs.enabled:
+                obs.inc("engine.broadcast.build" if self._handle is None
+                        else "engine.broadcast.retokenize")
             state: dict[str, Any] = {}
             for i, cind in enumerate(self._cinds):
                 left, right = self._relations(cind)
@@ -239,6 +246,8 @@ class ChunkedCINDEngine:
             supersedes = self._handle.token if self._handle is not None else None
             self._handle = StateHandle(state, supersedes=supersedes)
             self._versions = versions
+        elif obs.enabled:
+            obs.inc("engine.broadcast.reuse")
         return self._handle
 
     def detect(self, indices: Sequence[int] | None = None) -> list[list[CINDViolation]]:
@@ -258,6 +267,9 @@ class ChunkedCINDEngine:
             chunks = Chunker(right, **self._pool.chunk_plan(len(right))).chunks()
             rhs_spans.append((len(rhs_tasks), len(chunks)))
             rhs_tasks.extend(("cind_rhs", (f"{i}:r", chunk.tids)) for chunk in chunks)
+        if obs.enabled:
+            obs.inc("engine.cind.runs")
+            obs.observe("engine.cind.chunks", len(rhs_tasks))
         rhs_results = self._pool.run(handle, rhs_tasks, rhs_rows)
 
         right_keys: list[frozenset[tuple[int, ...]]] = []

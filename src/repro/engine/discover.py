@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
+from repro import obs
 from repro.engine.broadcast import RelationBroadcastEngine
 from repro.engine.chunker import Chunker
 from repro.engine.merge import GroupMerger, split_batches
@@ -55,6 +56,9 @@ class ChunkedPartitionEngine(RelationBroadcastEngine):
         chunks = Chunker(self._relation, **self._pool.chunk_plan(rows)).chunks()
         if not chunks:
             return []
+        if obs.enabled:
+            obs.inc("engine.partition.runs")
+            obs.observe("engine.partition.chunks", len(chunks))
         handle = self._ensure_handle()
         tasks: list[tuple[str, Any]] = [
             ("partition_scan", (_SPEC, positions, chunk.tids)) for chunk in chunks]
@@ -81,6 +85,8 @@ class ChunkedPartitionEngine(RelationBroadcastEngine):
         positions = tuple(self._relation.schema.positions(list(lhs_attributes)))
         rhs_position = self._relation.schema.position(rhs_attribute)
         rows = len(self._relation)
+        if obs.enabled:
+            obs.inc("engine.subset.runs")
         handle = self._ensure_handle()
         batches = split_batches(groups, self._pool.default_chunks(rows))
         tasks: list[tuple[str, Any]] = [

@@ -19,8 +19,8 @@ An :class:`ExecutorPool` runs per-chunk worker tasks against a broadcast
 
 :func:`resolve_pool` turns the user-facing ``engine=``/``workers=`` knobs
 (and the ``REPRO_ENGINE`` / ``REPRO_WORKERS`` / ``REPRO_PARALLEL_THRESHOLD``
-environment variables) into a pool, or ``None`` for the classic
-sequential path.
+environment variables, parsed and validated by :mod:`repro.config`) into
+a pool, or ``None`` for the classic sequential path.
 """
 
 from __future__ import annotations
@@ -31,11 +31,9 @@ import multiprocessing
 import os
 from typing import Any, Iterator
 
+from repro import config, obs
+from repro.config import ENGINE_ENV, THRESHOLD_ENV, WORKERS_ENV  # noqa: F401 (re-exported)
 from repro.engine import worker
-
-ENGINE_ENV = "REPRO_ENGINE"
-WORKERS_ENV = "REPRO_WORKERS"
-THRESHOLD_ENV = "REPRO_PARALLEL_THRESHOLD"
 
 #: engine names accepted by detectors, the session, the CLI and the env var.
 ENGINES = ("sequential", "serial", "parallel")
@@ -99,6 +97,24 @@ class ExecutorPool:
         return iter(self.run(handle, tasks, rows))
 
 
+def _merge_timed(tasks: list[tuple[str, Any]],
+                 timed: list[tuple[float, Any]]) -> list[Any]:
+    """Unwrap ``(seconds, result)`` pairs, folding timings into the registry."""
+    if obs.enabled:
+        for (name, _), (seconds, _) in zip(tasks, timed):
+            obs.observe(f"engine.task.{name}.seconds", seconds)
+    return [result for _, result in timed]
+
+
+def _merge_timed_stream(tasks: list[tuple[str, Any]],
+                        timed: "Iterator[tuple[float, Any]]") -> "Iterator[Any]":
+    """Streaming :func:`_merge_timed`: preserves the backend's laziness."""
+    for (name, _), (seconds, result) in zip(tasks, timed):
+        if obs.enabled:
+            obs.observe(f"engine.task.{name}.seconds", seconds)
+        yield result
+
+
 class SerialPool(ExecutorPool):
     """Chunked execution on the calling thread (no processes involved)."""
 
@@ -111,7 +127,7 @@ class SerialPool(ExecutorPool):
 
     def run(self, handle: StateHandle, tasks: list[tuple[str, Any]],
             rows: int = 0) -> list[Any]:
-        return worker.run_local(handle.state, tasks)
+        return _merge_timed(tasks, worker.run_local_timed(handle.state, tasks))
 
 
 # Process-wide registry of live OS pools, shared by every
@@ -129,6 +145,8 @@ MAX_SHARED_POOLS = 4
 def _close_pool(key: tuple[int, int]) -> None:
     pool = _pools.pop(key, None)
     if pool is not None:
+        if obs.enabled:
+            obs.inc("engine.pool.stop")
         pool.terminate()
         pool.join()
 
@@ -168,18 +186,23 @@ class MultiprocessingPool(ExecutorPool):
         if not tasks:
             return []
         if self.workers <= 1 or len(tasks) <= 1 or rows < self.min_rows:
-            return worker.run_local(handle.state, tasks)
+            if obs.enabled:
+                obs.inc("engine.pool.inline")
+            return _merge_timed(tasks, worker.run_local_timed(handle.state, tasks))
         pool = self._ensure_pool(handle)
-        return pool.map(worker.dispatch, tasks)
+        return _merge_timed(tasks, pool.map(worker.dispatch_timed, tasks))
 
     def run_stream(self, handle: StateHandle, tasks: list[tuple[str, Any]],
                    rows: int = 0) -> Any:
         if not tasks:
             return iter(())
         if self.workers <= 1 or len(tasks) <= 1 or rows < self.min_rows:
-            return iter(worker.run_local(handle.state, tasks))
+            if obs.enabled:
+                obs.inc("engine.pool.inline")
+            return _merge_timed_stream(
+                tasks, iter(worker.run_local_timed(handle.state, tasks)))
         pool = self._ensure_pool(handle)
-        return pool.imap(worker.dispatch, tasks)
+        return _merge_timed_stream(tasks, pool.imap(worker.dispatch_timed, tasks))
 
     def _ensure_pool(self, handle: StateHandle) -> Any:
         if handle.supersedes is not None:
@@ -187,6 +210,8 @@ class MultiprocessingPool(ExecutorPool):
         key = (self.workers, handle.token)
         pool = _pools.get(key)
         if pool is not None:
+            if obs.enabled:
+                obs.inc("engine.pool.reuse")
             _pools[key] = _pools.pop(key)  # LRU touch
             return pool
         while len(_pools) >= MAX_SHARED_POOLS:
@@ -194,6 +219,8 @@ class MultiprocessingPool(ExecutorPool):
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn")
+        if obs.enabled:
+            obs.inc("engine.pool.start")
         pool = context.Pool(self.workers, initializer=worker.initialize,
                             initargs=(handle.state,))
         _pools[key] = pool
@@ -210,7 +237,7 @@ def resolve_pool(engine: str | None = None,
     ``"parallel"`` when more than one, ``"serial"`` for exactly one.
     """
     if engine is None:
-        engine = os.environ.get(ENGINE_ENV, "").strip().lower() or None
+        engine = config.engine_default(ENGINES)
     if engine is None and workers is not None:
         engine = "parallel" if workers > 1 else "serial"
     if engine is None or engine == "sequential":
@@ -219,9 +246,7 @@ def resolve_pool(engine: str | None = None,
         return SerialPool()
     if engine == "parallel":
         if workers is None:
-            env_workers = os.environ.get(WORKERS_ENV, "").strip()
-            workers = int(env_workers) if env_workers else None
-        env_threshold = os.environ.get(THRESHOLD_ENV, "").strip()
-        min_rows = int(env_threshold) if env_threshold else None
+            workers = config.workers_default()
+        min_rows = config.parallel_threshold_default()
         return MultiprocessingPool(workers=workers, min_rows=min_rows)
     raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any
 
+from repro import obs
 from repro.engine.chunker import Chunker
 from repro.engine.executor import ExecutorPool, StateHandle
 from repro.engine.sql import AggregateMerger
@@ -74,12 +75,18 @@ class ChunkedJoinEngine:
         """The broadcast handle, re-tokenised when either relation changed."""
         versions = tuple(relation.version for relation in self._relations)
         if self._handle is None:
+            if obs.enabled:
+                obs.inc("engine.broadcast.build")
             self._handle = StateHandle(join_state(*self._relations))
         elif versions != self._versions:
+            if obs.enabled:
+                obs.inc("engine.broadcast.retokenize")
             for relation in self._relations:
                 relation.columns  # rebuild a stale store in place first
             self._handle = StateHandle(self._handle.state,
                                        supersedes=self._handle.token)
+        elif obs.enabled:
+            obs.inc("engine.broadcast.reuse")
         self._versions = versions
         return self._handle
 
@@ -91,6 +98,9 @@ class ChunkedJoinEngine:
         chunks = Chunker(probe, **self._pool.chunk_plan(rows)).chunks()
         if not chunks:
             return None
+        if obs.enabled:
+            obs.inc("engine.join.runs")
+            obs.observe("engine.join.chunks", len(chunks))
         handle = self._ensure_handle()
         tasks: list[tuple[str, Any]] = [
             ("join_probe", (JOIN_SPEC, query, chunk.tids)) for chunk in chunks]
@@ -98,35 +108,41 @@ class ChunkedJoinEngine:
 
     def probe_pairs(self, query: dict[str, Any]) -> list[tuple[int, int]]:
         """Joined (left tid, right tid) pairs, global left-major order."""
-        results = self._run(query)
-        pairs: list[tuple[int, int]] = []
-        if results is not None:
-            for partial in results:
-                pairs.extend(partial)
-        return pairs
+        with obs.span("sql.join.probe",
+                      relation=self._relations[query["probe_side"]].name):
+            results = self._run(query)
+            pairs: list[tuple[int, int]] = []
+            if results is not None:
+                for partial in results:
+                    pairs.extend(partial)
+            return pairs
 
     def probe_matches(self, query: dict[str, Any]) -> dict[int, list[int]]:
         """Merged ``left (build) tid -> [right tids]`` match lists."""
-        results = self._run(query)
-        matches: dict[int, list[int]] = {}
-        if results is not None:
-            for partial in results:
-                for build_tid, tids in partial.items():
-                    seen = matches.get(build_tid)
-                    if seen is None:
-                        matches[build_tid] = tids
-                    else:
-                        seen.extend(tids)
-        return matches
+        with obs.span("sql.join.probe",
+                      relation=self._relations[query["probe_side"]].name):
+            results = self._run(query)
+            matches: dict[int, list[int]] = {}
+            if results is not None:
+                for partial in results:
+                    for build_tid, tids in partial.items():
+                        seen = matches.get(build_tid)
+                        if seen is None:
+                            matches[build_tid] = tids
+                        else:
+                            seen.extend(tids)
+            return matches
 
     def probe_grouped(self, query: dict[str, Any]) -> dict[Any, list]:
         """Merged ``code key -> [first pair, aggregate states...]`` groups."""
-        merger = AggregateMerger(query["aggs"])
-        results = self._run(query)
-        if results is not None:
-            for partial in results:
-                merger.add_chunk(partial)
-        return merger.groups
+        with obs.span("sql.join.probe",
+                      relation=self._relations[query["probe_side"]].name):
+            merger = AggregateMerger(query["aggs"])
+            results = self._run(query)
+            if results is not None:
+                for partial in results:
+                    merger.add_chunk(partial)
+            return merger.groups
 
     def __repr__(self) -> str:
         left, right = self._relations

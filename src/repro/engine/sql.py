@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro import obs
 from repro.engine.broadcast import RelationBroadcastEngine
 from repro.engine.chunker import Chunker
 
@@ -107,6 +108,9 @@ class ChunkedSQLEngine(RelationBroadcastEngine):
         chunks = Chunker(self._relation, **self._pool.chunk_plan(rows)).chunks()
         if not chunks:
             return None
+        if obs.enabled:
+            obs.inc("engine.sql.runs")
+            obs.observe("engine.sql.chunks", len(chunks))
         handle = self._ensure_handle()
         tasks: list[tuple[str, Any]] = [
             ("sql_scan", (SQL_SPEC, query, chunk.tids)) for chunk in chunks]

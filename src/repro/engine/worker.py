@@ -20,6 +20,7 @@ output is byte-identical to the sequential columnar path.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any
 
 from repro.relational.columns import NULL_CODE, take
@@ -43,6 +44,31 @@ def dispatch(task: tuple[str, Any]) -> Any:
 def run_local(state: dict[str, Any], tasks: list[tuple[str, Any]]) -> list[Any]:
     """Run tasks in-process (the serial backend and small-input fallback)."""
     return [_HANDLERS[name](state, payload) for name, payload in tasks]
+
+
+def dispatch_timed(task: tuple[str, Any]) -> tuple[float, Any]:
+    """Like :func:`dispatch`, returning ``(worker seconds, result)``.
+
+    The elapsed time is measured inside the worker process, so the parent
+    can separate genuine compute time from pickling/IPC overhead when it
+    folds the timings into the metrics registry.  Timings never feed back
+    into results — merged output stays byte-identical to the untimed path.
+    """
+    name, payload = task
+    start = perf_counter()
+    result = _HANDLERS[name](_STATE, payload)
+    return perf_counter() - start, result
+
+
+def run_local_timed(state: dict[str, Any],
+                    tasks: list[tuple[str, Any]]) -> list[tuple[float, Any]]:
+    """Run tasks in-process, timing each: ``[(seconds, result), ...]``."""
+    timed = []
+    for name, payload in tasks:
+        start = perf_counter()
+        result = _HANDLERS[name](state, payload)
+        timed.append((perf_counter() - start, result))
+    return timed
 
 
 # -- CFD scan phase ---------------------------------------------------------

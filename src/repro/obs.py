@@ -1,0 +1,273 @@
+"""``repro.obs`` — process-wide metrics registry and span tracer.
+
+A single module-level :class:`MetricsRegistry` collects named counters,
+gauges and histograms from every layer of the library (engine fan-out,
+caches, SQL planning, detection/repair/discovery).  Collection is **off
+by default** and the off path is near-free: every instrumented call site
+guards on the module attribute :data:`enabled` before allocating
+anything::
+
+    from repro import obs
+
+    if obs.enabled:
+        obs.inc("cache.partition.hit")
+
+    with obs.span("sql.join.probe", relation=name):
+        ...  # when disabled this yields a shared no-op singleton
+
+Spans time a block with :func:`time.perf_counter` and fold the elapsed
+seconds into the histogram ``span.<name>``; with :data:`trace_enabled`
+they additionally append ``(name, seconds, tags)`` records to a bounded
+in-memory trace buffer.  Set ``REPRO_OBS=1`` (and optionally
+``REPRO_OBS_TRACE=1``) to switch collection on at import time — that is
+how CI reruns the full suite instrumented — or call :func:`enable`
+programmatically (the CLI does this for ``--stats``/``--explain`` runs).
+
+Metric names are dotted, lowest-level last: ``<layer>.<object>.<event>``
+(``engine.pool.reuse``, ``cache.bridge.rebuilt``, ``sql.plan.code``,
+``repair.passes``).  Histograms observe seconds (``engine.task.*``,
+``span.*``) or sizes (``engine.sql.chunks``).  The Prometheus rendering
+in :meth:`MetricsRegistry.render_prometheus` maps dots to underscores and
+prefixes ``repro_``, so ``cache.partition.hit`` becomes
+``repro_cache_partition_hit_total``.
+
+Instrumentation never feeds results back into computation, so reports,
+SQL results and repairs are byte-identical with collection on or off.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Iterator
+
+from repro.config import obs_enabled_default, obs_trace_default
+
+TRACE_LIMIT = 1000
+
+enabled = False
+trace_enabled = False
+
+
+class Histogram:
+    """Streaming summary of observed values: count/total/min/max."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.total / self.count if self.count else 0.0,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, histograms and a bounded span trace."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._trace: list[tuple[str, float, dict[str, Any]]] = []
+
+    # -- recording ------------------------------------------------------------------
+
+    def inc(self, name: str, value: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        histogram.observe(value)
+
+    def histogram(self, name: str) -> Histogram | None:
+        return self._histograms.get(name)
+
+    def record_trace(self, name: str, seconds: float,
+                     tags: dict[str, Any]) -> None:
+        if len(self._trace) < TRACE_LIMIT:
+            self._trace.append((name, seconds, tags))
+
+    # -- export ---------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Structured dict of everything recorded so far."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {name: histogram.snapshot()
+                           for name, histogram
+                           in sorted(self._histograms.items())},
+            "trace": [{"name": name, "seconds": seconds, "tags": tags}
+                      for name, seconds, tags in self._trace],
+        }
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition: ``repro_`` prefix, dots → underscores."""
+        lines: list[str] = []
+        for name, value in sorted(self._counters.items()):
+            metric = _prometheus_name(name) + "_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {value}")
+        for name, value in sorted(self._gauges.items()):
+            metric = _prometheus_name(name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_format_value(value)}")
+        for name, histogram in sorted(self._histograms.items()):
+            metric = _prometheus_name(name)
+            summary = histogram.snapshot()
+            lines.append(f"# TYPE {metric} summary")
+            lines.append(f"{metric}_count {summary['count']}")
+            lines.append(f"{metric}_sum {_format_value(summary['total'])}")
+            lines.append(f"{metric}_min {_format_value(summary['min'])}")
+            lines.append(f"{metric}_max {_format_value(summary['max'])}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._trace.clear()
+
+
+def _prometheus_name(name: str) -> str:
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+# -- spans --------------------------------------------------------------------------
+
+class _Span:
+    """Times a block; elapsed seconds land in the ``span.<name>`` histogram."""
+
+    __slots__ = ("name", "tags", "_start")
+
+    def __init__(self, name: str, tags: dict[str, Any]) -> None:
+        self.name = name
+        self.tags = tags
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        elapsed = perf_counter() - self._start
+        REGISTRY.observe("span." + self.name, elapsed)
+        if trace_enabled:
+            REGISTRY.record_trace(self.name, elapsed, self.tags)
+
+
+class _NoopSpan:
+    """Shared zero-allocation span used whenever collection is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+REGISTRY = MetricsRegistry()
+
+
+def span(name: str, **tags: Any) -> "_Span | _NoopSpan":
+    """Context manager timing a block, or a shared no-op when disabled."""
+    if not enabled:
+        return _NOOP_SPAN
+    return _Span(name, tags)
+
+
+# -- module facade ------------------------------------------------------------------
+
+def enable(trace: bool | None = None) -> None:
+    """Switch metrics collection on (optionally span tracing too)."""
+    global enabled, trace_enabled
+    enabled = True
+    if trace is not None:
+        trace_enabled = trace
+
+
+def disable() -> None:
+    """Switch metrics collection (and tracing) off."""
+    global enabled, trace_enabled
+    enabled = False
+    trace_enabled = False
+
+
+def configure_from_env() -> None:
+    """Apply ``REPRO_OBS`` / ``REPRO_OBS_TRACE`` to the module flags."""
+    global enabled, trace_enabled
+    enabled = obs_enabled_default()
+    trace_enabled = obs_trace_default()
+
+
+def inc(name: str, value: int = 1) -> None:
+    REGISTRY.inc(name, value)
+
+
+def counter(name: str) -> int:
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str, value: float) -> None:
+    REGISTRY.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    REGISTRY.observe(name, value)
+
+
+def metrics() -> dict[str, Any]:
+    """Structured snapshot of the process-wide registry."""
+    return REGISTRY.snapshot()
+
+
+def prometheus() -> str:
+    """Prometheus text rendering of the process-wide registry."""
+    return REGISTRY.render_prometheus()
+
+
+def reset() -> None:
+    """Clear the process-wide registry (flags are left untouched)."""
+    REGISTRY.reset()
+
+
+def iter_trace() -> Iterator[tuple[str, float, dict[str, Any]]]:
+    """Iterate recorded span trace entries ``(name, seconds, tags)``."""
+    return iter(REGISTRY._trace)
+
+
+configure_from_env()

@@ -30,6 +30,7 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import TYPE_CHECKING, Any, Callable, Hashable, Sequence
 
+from repro import obs
 from repro.relational.types import is_null, sort_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -202,7 +203,11 @@ class DictionaryBridge:
     def ensure_fresh(self) -> "DictionaryBridge":
         """Rebuild the translation in place if either dictionary moved."""
         if self.is_stale():
+            if obs.enabled:
+                obs.inc("cache.bridge.rebuilt")
             self._rebuild()
+        elif obs.enabled:
+            obs.inc("cache.bridge.valid")
         return self
 
     def _rebuild(self) -> None:
@@ -327,8 +332,12 @@ class Column:
         """
         order = self._order
         if order is None or order.size != len(self.values):
+            if obs.enabled:
+                obs.inc("cache.order.build")
             order = ColumnOrder(self.values)
             self._order = order
+        elif obs.enabled:
+            obs.inc("cache.order.reuse")
         return order
 
     # -- constant matchers ------------------------------------------------
@@ -342,11 +351,15 @@ class Column:
         """
         matcher = self._matchers.get(key)
         if matcher is None:
+            if obs.enabled:
+                obs.inc("cache.matcher.miss")
             matcher = ConstantMatcher(predicate)
             for code, value in enumerate(self.values):
                 if code != NULL_CODE and predicate(value):
                     matcher.codes.add(code)
             self._matchers[key] = matcher
+        elif obs.enabled:
+            obs.inc("cache.matcher.hit")
         return matcher
 
     # -- distance memo ----------------------------------------------------
@@ -410,6 +423,8 @@ class Column:
         key = (id(other), mode)
         bridge = self._bridges.get(key)
         if bridge is None or bridge.target is not other:
+            if obs.enabled:
+                obs.inc("cache.bridge.build")
             bridge = DictionaryBridge(self, other, mode)
             self._bridges[key] = bridge
             return bridge

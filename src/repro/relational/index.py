@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Sequence
 
+from repro import obs
 from repro.relational.columns import Column
 from repro.relational.relation import Relation, Tuple
 
@@ -49,6 +50,8 @@ class HashIndex:
 
     def rebuild(self) -> None:
         """Re-scan the relation and rebuild all buckets."""
+        if obs.enabled:
+            obs.inc("cache.index.rebuild")
         buckets: dict[tuple[Any, ...], set[int]] = {}
         if self._use_columns:
             store = self._relation.columns

@@ -375,27 +375,44 @@ def _aggregate_spec(call: AggregateCall, table: TableRef,
     return (call.function, position)  # min | max
 
 
-def compile_plan(database: "Database", statement: SelectStatement) -> CodePlan | None:
-    """Compile *statement* to a :class:`CodePlan`, or ``None`` to fall back."""
+def _note(reasons: list[str] | None, message: str) -> None:
+    """Record a fallback reason for EXPLAIN, then signal fallback (None)."""
+    if reasons is not None:
+        reasons.append(message)
+    return None
+
+
+def compile_plan(database: "Database", statement: SelectStatement,
+                 reasons: list[str] | None = None) -> CodePlan | None:
+    """Compile *statement* to a :class:`CodePlan`, or ``None`` to fall back.
+
+    When *reasons* is a list, every fallback appends a human-readable
+    explanation of why the code-native plan could not be used — the raw
+    material of ``EXPLAIN``.  Passing ``None`` (the default) keeps the hot
+    path allocation-free.
+    """
     if statement.joins or len(statement.tables) != 1:
-        return None
+        return _note(reasons, "query reads more than one table")
     table = statement.tables[0]
     try:
         relation = database.relation(table.relation_name)
     except ReproError:
-        return None  # unknown relation: the row path raises the canonical error
+        # unknown relation: the row path raises the canonical error
+        return _note(reasons, f"unknown relation {table.relation_name!r}")
 
     plan = CodePlan(relation, table)
     for conjunct in flatten_conjuncts(statement.where):
         compiled = compile_filter(relation, table, conjunct, single_table=True)
         if compiled is None:
-            return None
+            return _note(reasons,
+                         f"WHERE conjunct {conjunct} is not a code-set test")
         plan.filters.append(compiled)
 
     try:
         items = expanded_items(database, statement)
     except SQLExecutionError:
-        return None  # e.g. a bad 'alias.*': the row path raises identically
+        # e.g. a bad 'alias.*': the row path raises identically
+        return _note(reasons, "select items do not expand cleanly")
     plan.names = [name for name, _ in items]
 
     if statement.has_aggregates():
@@ -403,10 +420,11 @@ def compile_plan(database: "Database", statement: SelectStatement) -> CodePlan |
         positions: list[int] = []
         for expression in statement.group_by:
             if not isinstance(expression, ColumnRef):
-                return None  # GROUP BY on an expression: row path
+                return _note(reasons, "GROUP BY on an expression")
             position = _resolved_position(expression, table, True, relation)
             if position is None:
-                return None
+                return _note(reasons,
+                             f"GROUP BY column {expression} does not resolve")
             positions.append(position)
         plan.group_positions = tuple(positions)
 
@@ -415,24 +433,27 @@ def compile_plan(database: "Database", statement: SelectStatement) -> CodePlan |
             if isinstance(expression, AggregateCall):
                 index = _register_aggregate(plan, registry, expression, table, relation)
                 if index is None:
-                    return None
+                    return _note(reasons,
+                                 f"aggregate {expression} has no code-level spec")
                 plan.items.append(("agg", index))
             else:
                 for call in collect_aggregates(expression):
                     if _register_aggregate(plan, registry, call, table, relation) is None:
-                        return None
+                        return _note(reasons,
+                                     f"aggregate {call} has no code-level spec")
                 plan.items.append(("expr", expression))
         plan.having = statement.having
         for call in collect_aggregates(statement.having):
             if _register_aggregate(plan, registry, call, table, relation) is None:
-                return None
+                return _note(reasons,
+                             f"HAVING aggregate {call} has no code-level spec")
         return plan
 
     for _, expression in items:
         position = _resolved_position(expression, table, True, relation) \
             if isinstance(expression, ColumnRef) else None
         if position is None:
-            return None  # computed select items: row path
+            return _note(reasons, f"select item {expression} is computed")
         plan.items.append(("col", position))
     plan.order_ranks = _order_ranks(plan, statement)
     return plan
@@ -640,8 +661,8 @@ def _register_join_aggregate(plan: JoinPlan, registry: dict[AggregateCall, int],
     return index
 
 
-def compile_join_plan(database: "Database",
-                      statement: SelectStatement) -> JoinPlan | None:
+def compile_join_plan(database: "Database", statement: SelectStatement,
+                      reasons: list[str] | None = None) -> JoinPlan | None:
     """Compile a two-table INNER JOIN to a :class:`JoinPlan`, or ``None``.
 
     Requirements mirror what the hash join can express exactly: exactly
@@ -650,19 +671,22 @@ def compile_join_plan(database: "Database",
     every remaining conjunct compiling to a single-side code-set filter.
     Anything else — cross products, residual predicates, expression-valued
     items or group keys — falls back to the row path, which produces
-    byte-identical results.
+    byte-identical results.  When *reasons* is a list, every fallback
+    appends an explanation for ``EXPLAIN``.
     """
     tables = list(statement.tables) + [join.table for join in statement.joins]
     if len(tables) != 2:
-        return None
+        return _note(reasons, "query does not read exactly two tables")
     if any(join.kind != "inner" for join in statement.joins):
-        return None
+        return _note(reasons, "only INNER joins compile to hash joins")
     if tables[0].binding_name.lower() == tables[1].binding_name.lower():
-        return None  # ambiguous bindings: leave to the row path
+        # ambiguous bindings: leave to the row path
+        return _note(reasons, "the two tables share one binding name")
     try:
         relations = tuple(database.relation(table.relation_name) for table in tables)
     except ReproError:
-        return None  # unknown relation: the row path raises the canonical error
+        # unknown relation: the row path raises the canonical error
+        return _note(reasons, "unknown relation in FROM")
     sides = tuple(zip(tables, relations))
     plan = JoinPlan(relations, tuple(tables))
 
@@ -676,16 +700,20 @@ def compile_join_plan(database: "Database",
             continue
         compiled = _compile_join_filter(conjunct, sides)
         if compiled is None:
-            return None
+            return _note(reasons,
+                         f"conjunct {conjunct} is neither an equi key "
+                         "nor a single-side code-set test")
         side, position, codes = compiled
         plan.filters[side].append((position, codes))
     if not plan.key_pairs:
-        return None  # no equi keys: the row path nested-loops this
+        # the row path nested-loops this
+        return _note(reasons, "no equi-join key between the two tables")
 
     try:
         items = expanded_items(database, statement)
     except SQLExecutionError:
-        return None  # e.g. a bad 'alias.*': the row path raises identically
+        # e.g. a bad 'alias.*': the row path raises identically
+        return _note(reasons, "select items do not expand cleanly")
     plan.names = [name for name, _ in items]
 
     if statement.has_aggregates():
@@ -693,10 +721,11 @@ def compile_join_plan(database: "Database",
         keys: list[tuple[int, int]] = []
         for expression in statement.group_by:
             if not isinstance(expression, ColumnRef):
-                return None  # GROUP BY on an expression: row path
+                return _note(reasons, "GROUP BY on an expression")
             resolved = _join_position(expression, sides)
             if resolved is None:
-                return None
+                return _note(reasons,
+                             f"GROUP BY column {expression} does not resolve")
             keys.append(resolved)
         plan.group_keys = tuple(keys)
 
@@ -705,24 +734,27 @@ def compile_join_plan(database: "Database",
             if isinstance(expression, AggregateCall):
                 index = _register_join_aggregate(plan, registry, expression, sides)
                 if index is None:
-                    return None
+                    return _note(reasons,
+                                 f"aggregate {expression} has no code-level spec")
                 plan.items.append(("agg", index))
             else:
                 for call in collect_aggregates(expression):
                     if _register_join_aggregate(plan, registry, call, sides) is None:
-                        return None
+                        return _note(reasons,
+                                     f"aggregate {call} has no code-level spec")
                 plan.items.append(("expr", expression))
         plan.having = statement.having
         for call in collect_aggregates(statement.having):
             if _register_join_aggregate(plan, registry, call, sides) is None:
-                return None
+                return _note(reasons,
+                             f"HAVING aggregate {call} has no code-level spec")
         return plan
 
     for _, expression in items:
         resolved = _join_position(expression, sides) \
             if isinstance(expression, ColumnRef) else None
         if resolved is None:
-            return None  # computed select items: row path
+            return _note(reasons, f"select item {expression} is computed")
         plan.items.append(("col",) + resolved)
     plan.order_ranks = _join_order_ranks(plan, statement)
     return plan

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 from repro.relational.sql.executor import SQLExecutor
+from repro.relational.sql.explain import format_explain
 from repro.relational.sql.parser import parse_sql
 
 
@@ -43,10 +46,22 @@ class SQLEngine:
         """The path the last SELECT took: ``"code"`` or ``"row"`` (diagnostics)."""
         return self._executor.last_plan
 
-    def query(self, sql: str, result_name: str = "result") -> Relation:
-        """Parse and execute *sql*, returning the result relation."""
+    @property
+    def last_explain(self) -> dict[str, Any] | None:
+        """The EXPLAIN info dict of the last ``explain``/``query(explain=True)``."""
+        return self._executor.last_explain
+
+    def query(self, sql: str, result_name: str = "result",
+              explain: bool = False) -> Relation:
+        """Parse and execute *sql*, returning the result relation.
+
+        With ``explain=True`` the executor additionally records plan
+        choice, push-down pruning and join shape into ``last_explain``
+        (rendered by :meth:`explain`); the result is unchanged.
+        """
         statement = parse_sql(sql)
-        return self._executor.execute(statement, result_name=result_name)
+        return self._executor.execute(statement, result_name=result_name,
+                                      explain=explain)
 
     def scalar(self, sql: str):
         """Execute *sql* and return the single value of a 1x1 result."""
@@ -57,6 +72,9 @@ class SQLEngine:
         return rows[0].at(0)
 
     def explain(self, sql: str) -> str:
-        """Return a textual description of the parsed statement (for debugging)."""
-        statement = parse_sql(sql)
-        return repr(statement)
+        """Execute *sql* and return the plan report: chosen path (and why
+        the code-native paths were rejected when not taken), per-conjunct
+        push-down pruning, and hash-join build/probe shape."""
+        self.query(sql, explain=True)
+        info = self._executor.last_explain
+        return format_explain(info) if info is not None else "plan: unknown"

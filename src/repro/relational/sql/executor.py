@@ -38,6 +38,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Any, Callable, Iterable
 
+from repro import obs
 from repro.errors import SQLExecutionError
 from repro.relational.database import Database
 from repro.relational.expressions import (
@@ -134,10 +135,13 @@ class _FromPlanner:
     """Builds the joined row stream for a SELECT statement."""
 
     def __init__(self, database: Database, statement: SelectStatement,
-                 use_columns: bool = True) -> None:
+                 use_columns: bool = True,
+                 record: list[dict[str, Any]] | None = None) -> None:
         self._database = database
         self._statement = statement
         self._use_columns = use_columns
+        #: EXPLAIN sink: per-pushed-conjunct pruning entries land here.
+        self._record = record
 
     def execute(self) -> tuple[list[_ExecRow], list[Expression]]:
         """Return (joined rows, conjuncts not yet applied)."""
@@ -185,6 +189,7 @@ class _FromPlanner:
             return [], list(conjuncts)
         relation = self._database.relation(table.relation_name)
         filters: list[tuple[list[int], set[int]]] = []
+        pushed: list[tuple[Expression, int, set[int]]] = []
         rest: list[Expression] = []
         for conjunct in conjuncts:
             compiled = compile_filter(relation, table, conjunct, single_table)
@@ -193,6 +198,21 @@ class _FromPlanner:
                 continue
             position, codes = compiled
             filters.append((relation.columns.column_at(position).codes, codes))
+            pushed.append((conjunct, position, codes))
+        if self._record is not None and pushed:
+            tids = list(relation.tids())
+            for conjunct, position, allowed in pushed:
+                codes = relation.columns.column_at(position).codes
+                survivors = [tid for tid in tids if codes[tid] in allowed]
+                self._record.append({
+                    "table": table.binding_name,
+                    "attribute": relation.schema.attribute_names[position],
+                    "conjunct": str(conjunct),
+                    "code_set_size": len(allowed),
+                    "rows_in": len(tids),
+                    "rows_pruned": len(tids) - len(survivors),
+                })
+                tids = survivors
         return filters, rest
 
     def _split_equi_conjuncts(self, conjuncts: list[Expression], bound: set[str],
@@ -281,18 +301,31 @@ class SQLExecutor:
         self._join_engines: dict[tuple[str, str], Any] = {}
         #: the path the last SELECT took: "code", "join" or "row".
         self.last_plan: str | None = None
+        #: EXPLAIN info for the last statement run with ``explain=True``.
+        self.last_explain: dict[str, Any] | None = None
+        #: in-flight EXPLAIN sink (None when not explaining).
+        self._explain: dict[str, Any] | None = None
 
     # -- public ------------------------------------------------------------
 
-    def execute(self, statement: Statement, result_name: str = "result") -> Relation:
+    def execute(self, statement: Statement, result_name: str = "result",
+                explain: bool = False) -> Relation:
         if isinstance(statement, UnionStatement):
-            return self._execute_union(statement, result_name)
-        return self._execute_select(statement, result_name)
+            return self._execute_union(statement, result_name, explain)
+        return self._execute_select(statement, result_name, explain)
 
     # -- UNION ---------------------------------------------------------------
 
-    def _execute_union(self, statement: UnionStatement, result_name: str) -> Relation:
-        parts = [self._execute_select(select, result_name) for select in statement.selects]
+    def _execute_union(self, statement: UnionStatement, result_name: str,
+                       explain: bool = False) -> Relation:
+        infos: list[dict[str, Any] | None] = []
+        parts = []
+        for select in statement.selects:
+            parts.append(self._execute_select(select, result_name, explain))
+            if explain:
+                infos.append(self.last_explain)
+        if explain:
+            self.last_explain = {"plan": "union", "selects": infos}
         first = parts[0]
         schema = first.schema.renamed_relation(result_name)
         result = Relation(schema)
@@ -309,26 +342,52 @@ class SQLExecutor:
 
     # -- SELECT ----------------------------------------------------------------
 
-    def _execute_select(self, statement: SelectStatement, result_name: str) -> Relation:
+    def _execute_select(self, statement: SelectStatement, result_name: str,
+                        explain: bool = False) -> Relation:
         pre_ordered = False
         ran_code = False
         self.last_plan = "row"
+        info: dict[str, Any] | None = None
+        if explain:
+            info = {"plan": "row", "why_not_code": [], "why_not_join": [],
+                    "filters": [], "join": None}
+            if not self._use_columns:
+                info["why_not_code"].append("use_columns=False")
+                info["why_not_join"].append("use_columns=False")
+        self._explain = info
         if self._use_columns:
-            plan = compile_plan(self._database, statement)
+            plan = compile_plan(self._database, statement,
+                                info["why_not_code"] if info is not None else None)
             if plan is not None:
                 self.last_plan = "code"
+                if obs.enabled:
+                    obs.inc("sql.plan.code")
+                if info is not None:
+                    info["plan"] = "code"
+                    info["why_not_join"].append("code-native single-table plan chosen")
+                    info["filters"] = self._explain_filters(
+                        plan.relation, plan.table.binding_name, plan.filters)
                 output_rows, names, pre_ordered = self._execute_code_plan(plan)
                 ran_code = True
             else:
-                join_plan = compile_join_plan(self._database, statement)
+                join_plan = compile_join_plan(
+                    self._database, statement,
+                    info["why_not_join"] if info is not None else None)
                 if join_plan is not None:
                     self.last_plan = "join"
+                    if obs.enabled:
+                        obs.inc("sql.plan.join")
+                    if info is not None:
+                        info["plan"] = "join"
                     output_rows, names, pre_ordered = self._execute_join_plan(join_plan)
                     ran_code = True
+        if obs.enabled and not ran_code:
+            obs.inc("sql.plan.row")
 
         if not ran_code:
-            rows, residual = _FromPlanner(self._database, statement,
-                                          use_columns=self._use_columns).execute()
+            rows, residual = _FromPlanner(
+                self._database, statement, use_columns=self._use_columns,
+                record=info["filters"] if info is not None else None).execute()
 
             for conjunct in residual:
                 rows = [row for row in rows if truth(conjunct.evaluate(row.context()))]
@@ -364,7 +423,34 @@ class SQLExecutor:
         result = Relation(schema)
         for row in output_rows:
             result.insert(list(row))
+        if info is not None:
+            self.last_explain = info
+            self._explain = None
         return result
+
+    def _explain_filters(self, relation: Relation, table_name: str,
+                         filters: list[tuple[int, set[int]]],
+                         ) -> list[dict[str, Any]]:
+        """Per-filter pruning stats for EXPLAIN: code-set size, rows pruned.
+
+        Filters apply conjunctively, so survivors of one feed the next —
+        ``rows_in`` of filter *k* is the survivor count of filter *k - 1*.
+        """
+        entries: list[dict[str, Any]] = []
+        tids = list(relation.tids())
+        store = relation.columns
+        for position, allowed in filters:
+            codes = store.column_at(position).codes
+            survivors = [tid for tid in tids if codes[tid] in allowed]
+            entries.append({
+                "table": table_name,
+                "attribute": relation.schema.attribute_names[position],
+                "code_set_size": len(allowed),
+                "rows_in": len(tids),
+                "rows_pruned": len(tids) - len(survivors),
+            })
+            tids = survivors
+        return entries
 
     # -- code-native execution ----------------------------------------------
 
@@ -376,9 +462,11 @@ class SQLExecutor:
             from repro.engine import worker
             from repro.engine.sql import SQL_SPEC, broadcast_state
 
-            [result] = worker.run_local(
+            [(seconds, result)] = worker.run_local_timed(
                 broadcast_state(relation),
                 [("sql_scan", (SQL_SPEC, query, relation.tids()))])
+            if obs.enabled:
+                obs.observe("engine.task.sql_scan.seconds", seconds)
         else:
             engine = self._chunked_engine(relation)
             result = engine.scan_grouped(query) if plan.grouped else engine.scan(query)
@@ -503,13 +591,32 @@ class SQLExecutor:
         query = join_query_payload(plan, probe_side, buckets)
         probe = plan.relations[probe_side]
 
+        info = self._explain
+        if info is not None:
+            bindings = (plan.tables[0].binding_name, plan.tables[1].binding_name)
+            for side in (0, 1):
+                info["filters"].extend(self._explain_filters(
+                    plan.relations[side], bindings[side], plan.filters[side]))
+            info["join"] = {
+                "build_side": bindings[1 - probe_side],
+                "probe_side": bindings[probe_side],
+                "build_rows": len(plan.relations[1 - probe_side]),
+                "probe_rows": len(probe),
+                "buckets": len(buckets),
+                "key_pairs": len(plan.key_pairs),
+            }
+        if obs.enabled:
+            obs.observe("sql.join.buckets", len(buckets))
+
         if self._pool is None:
             from repro.engine import worker
             from repro.engine.join import JOIN_SPEC, join_state
 
-            [result] = worker.run_local(
+            [(seconds, result)] = worker.run_local_timed(
                 join_state(left, right),
                 [("join_probe", (JOIN_SPEC, query, probe.tids()))])
+            if obs.enabled:
+                obs.observe("engine.task.join_probe.seconds", seconds)
         else:
             engine = self._join_engine(left, right)
             if plan.grouped:

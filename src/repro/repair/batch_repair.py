@@ -45,6 +45,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro import obs
 from repro.constraints.cfd import CFD, merge_cfds
 from repro.constraints.tableau import PatternTuple
 from repro.constraints.violations import CFDViolation
@@ -172,33 +173,40 @@ class BatchRepair:
         converged = False
 
         for _ in range(self._max_passes):
-            passes += 1
-            report = detector.detect()
-            if report.is_clean():
-                converged = True
-                break
-            violations = self._ordered(list(report.violations))
-            if self._use_columns:
-                pinned_codes = CodeEquivalenceClasses()
-                for violation in violations:
-                    if violation.is_single_tuple:
-                        self._resolve_constant_codes(working, violation, pinned_codes, plans)
-                for violation in violations:
-                    if not violation.is_single_tuple:
-                        self._resolve_group_codes(working, violation, pinned_codes, plans)
-            else:
-                pinned: dict[tuple[int, str], Any] = {}
-                for violation in violations:
-                    if violation.is_single_tuple:
-                        self._resolve_constant(working, violation, pinned)
-                for violation in violations:
-                    if not violation.is_single_tuple:
-                        self._resolve_group(working, violation, pinned)
+            with obs.span("repair.pass", relation=self._original.name):
+                passes += 1
+                if obs.enabled:
+                    obs.inc("repair.passes")
+                report = detector.detect()
+                if report.is_clean():
+                    converged = True
+                    break
+                violations = self._ordered(list(report.violations))
+                if obs.enabled:
+                    obs.inc("repair.violations", len(violations))
+                if self._use_columns:
+                    pinned_codes = CodeEquivalenceClasses()
+                    for violation in violations:
+                        if violation.is_single_tuple:
+                            self._resolve_constant_codes(working, violation, pinned_codes, plans)
+                    for violation in violations:
+                        if not violation.is_single_tuple:
+                            self._resolve_group_codes(working, violation, pinned_codes, plans)
+                else:
+                    pinned: dict[tuple[int, str], Any] = {}
+                    for violation in violations:
+                        if violation.is_single_tuple:
+                            self._resolve_constant(working, violation, pinned)
+                    for violation in violations:
+                        if not violation.is_single_tuple:
+                            self._resolve_group(working, violation, pinned)
         else:
             # loop ended without break: check once more
             converged = detector.detect().is_clean()
 
         changes = self._collect_changes(working)
+        if obs.enabled:
+            obs.inc("repair.changes", len(changes))
         cost = sum(
             self._cost_model.change_cost(c.tid, c.attribute, c.old_value, c.new_value)
             for c in changes

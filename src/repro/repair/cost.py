@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Hashable, Iterable, Mapping
 
+from repro import obs
 from repro.matching.similarity import normalized_edit_distance
 from repro.relational.columns import Column, NULL_CODE
 from repro.relational.types import is_null
@@ -118,8 +119,12 @@ class CostModel:
         key = (code, target_code)
         value = cache.get(key)
         if value is None:
+            if obs.enabled:
+                obs.inc("cache.distance.miss")
             value = self.distance(column.value_of(code), column.value_of(target_code))
             cache[key] = value
+        elif obs.enabled:
+            obs.inc("cache.distance.hit")
         return value
 
     def code_target_cost(self, attribute: str, column: Column,

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.semandaq.cli DATA.csv [CONSTRAINTS.txt] [--repair OUT.csv]
         [--discover] [--min-support N] [--max-lhs-size N] [--sql QUERY]
+        [--explain] [--stats OUT.json]
         [--engine {sequential,serial,parallel}] [--workers N]
 
 ``DATA.csv`` is loaded as a relation named after the file; ``CONSTRAINTS.txt``
@@ -29,9 +30,11 @@ variables provide the same defaults process-wide.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.engine.executor import ENGINES
 from repro.relational.csvio import read_csv, relation_to_csv
 from repro.semandaq.session import SemandaqSession
@@ -60,6 +63,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run a SQL query against the loaded relation and "
                              "print the result (honours --engine/--workers; "
                              "makes the constraints file optional)")
+    parser.add_argument("--explain", action="store_true",
+                        help="with --sql: also print the query plan report "
+                             "(code-native scan / hash join / row path, why "
+                             "the faster paths were rejected, push-down "
+                             "pruning per conjunct, join shape)")
+    parser.add_argument("--stats", metavar="OUT", default=None,
+                        help="enable instrumentation (as REPRO_OBS=1 would) and "
+                             "write the metrics snapshot as JSON to OUT after "
+                             "the run ('-' prints to stdout)")
     parser.add_argument("--engine", choices=ENGINES, default=None,
                         help="execution engine for detection, discovery and repair: "
                              "'sequential' (one pass, the default), "
@@ -81,6 +93,10 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("a constraints file is required unless --discover or --sql is given")
         if arguments.repair:
             parser.error("--repair requires a constraints file or --discover")
+    if arguments.explain and arguments.sql is None:
+        parser.error("--explain requires --sql")
+    if arguments.stats is not None:
+        obs.enable()
     data_path = Path(arguments.data)
     relation_name = arguments.relation_name or data_path.stem
     relation = read_csv(data_path, relation_name)
@@ -89,10 +105,17 @@ def main(argv: list[str] | None = None) -> int:
                               workers=arguments.workers)
 
     if arguments.sql is not None:
-        result = session.sql(arguments.sql)
+        if arguments.explain:
+            result, plan_report = session.sql(arguments.sql, explain=True)
+        else:
+            result = session.sql(arguments.sql)
+            plan_report = None
         print(result.pretty())
         print(f"({len(result)} row(s))")
+        if plan_report is not None:
+            print(plan_report)
         if arguments.constraints is None and not arguments.discover:
+            _write_stats(arguments, session)
             return 0  # pure query invocation: no detection/repair to run
 
     cfds = []
@@ -126,7 +149,20 @@ def main(argv: list[str] | None = None) -> int:
         relation_to_csv(session.database.relation(relation_name), arguments.repair)
         print(f"wrote repaired relation ({len(repair.changes)} cells changed) "
               f"to {arguments.repair}")
+    _write_stats(arguments, session)
     return 0
+
+
+def _write_stats(arguments: argparse.Namespace, session: SemandaqSession) -> None:
+    """Dump the metrics snapshot as JSON when --stats was given."""
+    if arguments.stats is None:
+        return
+    text = json.dumps(session.metrics(), indent=2, sort_keys=True)
+    if arguments.stats == "-":
+        print(text)
+    else:
+        Path(arguments.stats).write_text(text + "\n", encoding="utf-8")
+        print(f"wrote metrics snapshot to {arguments.stats}")
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples

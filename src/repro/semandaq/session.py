@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
+from repro import obs
 from repro.constraints.cfd import CFD
 from repro.constraints.cind import CIND
 from repro.constraints.parse import parse_cfd, parse_cfds, parse_cind
@@ -178,7 +179,8 @@ class SemandaqSession:
 
     # -- ad-hoc queries --------------------------------------------------------------
 
-    def sql(self, query: str, result_name: str = "result") -> Relation:
+    def sql(self, query: str, result_name: str = "result",
+            explain: bool = False) -> Relation | tuple[Relation, str]:
         """Run a SQL query against the session's database.
 
         The session's ``engine=``/``workers=`` apply: single-table
@@ -188,11 +190,23 @@ class SemandaqSession:
         do.  The SQL engine (and with it the per-relation broadcast
         state) is kept for the session's lifetime, so repeated queries
         over unchanged relations pay no re-broadcast.
+
+        With ``explain=True`` the return value is ``(result, report)``
+        where *report* is the EXPLAIN text: chosen plan (code-native
+        scan / hash join / row path, and why the faster paths were
+        rejected), per-conjunct push-down pruning, and join shape.
         """
+        from repro.relational.sql.explain import format_explain
+
         if self._sql_engine is None:
             self._sql_engine = SQLEngine(self._database, engine=self._engine,
                                          workers=self._workers)
-        return self._sql_engine.query(query, result_name=result_name)
+        result = self._sql_engine.query(query, result_name=result_name,
+                                        explain=explain)
+        if not explain:
+            return result
+        info = self._sql_engine.last_explain
+        return result, (format_explain(info) if info is not None else "plan: unknown")
 
     # -- discovery (profiling) ----------------------------------------------------------
 
@@ -267,6 +281,18 @@ class SemandaqSession:
         self._cost_model.set_weight(tid, attribute, LOCKED_WEIGHT)
 
     # -- reporting -------------------------------------------------------------------------
+
+    def metrics(self) -> dict[str, Any]:
+        """The process-wide instrumentation snapshot (see :mod:`repro.obs`).
+
+        Returns ``{"enabled": bool, "counters": {...}, "gauges": {...},
+        "histograms": {...}, "trace": [...]}``.  Counters and histograms
+        only accumulate while observability is on (``obs.enable()`` or
+        ``REPRO_OBS=1``); the snapshot itself is always available.
+        """
+        snapshot = obs.metrics()
+        snapshot["enabled"] = obs.enabled
+        return snapshot
 
     def report(self) -> str:
         """A human-readable status report of the session."""

@@ -1,0 +1,15 @@
+"""Shared fixtures for the observability test suite."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture
+def obs_state():
+    """Save/restore the process-wide obs flags and registry around a test."""
+    saved_enabled, saved_trace = obs.enabled, obs.trace_enabled
+    obs.reset()
+    yield
+    obs.enabled, obs.trace_enabled = saved_enabled, saved_trace
+    obs.reset()

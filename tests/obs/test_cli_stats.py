@@ -1,0 +1,78 @@
+"""CLI surface tests for --explain and --stats."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.semandaq.cli import main as semandaq_main
+
+CSV = """name,city,cc
+alice,edi,uk
+bob,nyc,us
+carol,nyc,us
+dave,edi,uk
+erin,nyc,us
+frank,edi,uk
+"""
+
+
+@pytest.fixture
+def data_csv(tmp_path):
+    path = tmp_path / "customer.csv"
+    path.write_text(CSV, encoding="utf-8")
+    return path
+
+
+class TestExplainFlag:
+    def test_prints_plan_report(self, data_csv, capsys, obs_state):
+        code = semandaq_main([str(data_csv),
+                              "--sql", "SELECT name FROM customer WHERE city = 'nyc'",
+                              "--explain"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan: code (code-native single-table scan on dictionary codes)" in out
+        assert "push-down filters:" in out
+        assert "(3 row(s))" in out
+
+    def test_explain_requires_sql(self, data_csv, obs_state):
+        with pytest.raises(SystemExit):
+            semandaq_main([str(data_csv), "--explain", "--discover"])
+
+
+class TestStatsFlag:
+    def test_writes_snapshot_with_cache_hits_and_timings(self, data_csv,
+                                                         tmp_path, capsys,
+                                                         obs_state):
+        stats_path = tmp_path / "out.json"
+        code = semandaq_main([str(data_csv), "--discover", "--min-support", "2",
+                              "--sql", "SELECT city, COUNT(*) AS n FROM customer "
+                                       "GROUP BY city",
+                              "--stats", str(stats_path)])
+        assert code == 0
+        snapshot = json.loads(stats_path.read_text(encoding="utf-8"))
+        assert snapshot["enabled"] is True
+        counters = snapshot["counters"]
+        # at least one nonzero cache-hit counter
+        hit_counters = {name: value for name, value in counters.items()
+                        if ".hit" in name or name.endswith(".cache_hit")}
+        assert any(value > 0 for value in hit_counters.values())
+        # engine task timings are present
+        assert "engine.task.sql_scan.seconds" in snapshot["histograms"]
+
+    def test_stats_to_stdout(self, data_csv, capsys, obs_state):
+        code = semandaq_main([str(data_csv),
+                              "--sql", "SELECT COUNT(*) AS n FROM customer",
+                              "--stats", "-"])
+        assert code == 0
+        out = capsys.readouterr().out
+        payload = out[out.index("{"):]
+        snapshot = json.loads(payload)
+        assert snapshot["counters"].get("sql.plan.code") == 1
+
+    def test_prometheus_rendering_of_run(self, data_csv, capsys, obs_state):
+        semandaq_main([str(data_csv),
+                       "--sql", "SELECT name FROM customer WHERE city = 'nyc'",
+                       "--stats", "-"])
+        text = obs.prometheus()
+        assert "repro_sql_plan_code_total 1" in text

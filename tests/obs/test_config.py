@@ -1,0 +1,108 @@
+"""Tests for the centralised REPRO_* environment parsing (repro.config)."""
+
+import pytest
+
+from repro import config, obs
+from repro.config import (
+    ConfigError,
+    env_choice,
+    env_flag,
+    env_int,
+)
+from repro.engine.executor import resolve_pool
+from repro.errors import ReproError
+
+
+class TestEnvFlag:
+    @pytest.mark.parametrize("raw", ["1", "true", "YES", " On "])
+    def test_truthy(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_OBS", raw)
+        assert env_flag("REPRO_OBS") is True
+
+    @pytest.mark.parametrize("raw", ["0", "false", "No", "off", ""])
+    def test_falsy(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_OBS", raw)
+        assert env_flag("REPRO_OBS") is False
+
+    def test_unset_uses_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        assert env_flag("REPRO_OBS") is False
+        assert env_flag("REPRO_OBS", default=True) is True
+
+    def test_malformed_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "maybe")
+        with pytest.raises(ConfigError, match="REPRO_OBS"):
+            env_flag("REPRO_OBS")
+
+
+class TestEnvInt:
+    def test_unset_and_empty_are_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert env_int("REPRO_WORKERS") is None
+        monkeypatch.setenv("REPRO_WORKERS", "  ")
+        assert env_int("REPRO_WORKERS") is None
+
+    def test_parses_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", " 4 ")
+        assert env_int("REPRO_WORKERS") == 4
+
+    def test_malformed_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "four")
+        with pytest.raises(ConfigError, match="not an integer"):
+            env_int("REPRO_WORKERS")
+
+    def test_minimum_enforced(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ConfigError, match="at least 1"):
+            env_int("REPRO_WORKERS", minimum=1)
+
+
+class TestEnvChoice:
+    def test_lowercases_and_validates(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "Parallel")
+        assert env_choice("REPRO_ENGINE", ("sequential", "serial", "parallel")) \
+            == "parallel"
+
+    def test_unknown_raises_with_choices(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "warp")
+        with pytest.raises(ConfigError, match="sequential, serial, parallel"):
+            env_choice("REPRO_ENGINE", ("sequential", "serial", "parallel"))
+
+
+class TestConfigErrorCompatibility:
+    def test_is_value_error_and_repro_error(self):
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(ConfigError, ReproError)
+
+    def test_resolve_pool_rejects_malformed_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "parallel")
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_pool(None, None)
+
+    def test_resolve_pool_rejects_malformed_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "warp")
+        with pytest.raises(ValueError, match="REPRO_ENGINE"):
+            resolve_pool(None, None)
+
+    def test_resolve_pool_rejects_malformed_threshold(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "parallel")
+        monkeypatch.setenv("REPRO_PARALLEL_THRESHOLD", "-5")
+        with pytest.raises(ValueError, match="REPRO_PARALLEL_THRESHOLD"):
+            resolve_pool(None, None)
+
+
+class TestObsEnvWiring:
+    def test_configure_from_env(self, monkeypatch):
+        saved_enabled, saved_trace = obs.enabled, obs.trace_enabled
+        try:
+            monkeypatch.setenv(config.OBS_ENV, "1")
+            monkeypatch.setenv(config.OBS_TRACE_ENV, "1")
+            obs.configure_from_env()
+            assert obs.enabled and obs.trace_enabled
+            monkeypatch.setenv(config.OBS_ENV, "0")
+            monkeypatch.setenv(config.OBS_TRACE_ENV, "0")
+            obs.configure_from_env()
+            assert not obs.enabled and not obs.trace_enabled
+        finally:
+            obs.enabled, obs.trace_enabled = saved_enabled, saved_trace

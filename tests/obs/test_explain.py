@@ -1,0 +1,127 @@
+"""Golden tests for the SQL EXPLAIN surface."""
+
+import pytest
+
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.sql.engine import SQLEngine
+from repro.relational.sql.explain import format_explain
+from repro.semandaq.session import SemandaqSession
+
+CUSTOMER = RelationSchema("customer", [
+    Attribute("name"), Attribute("city"), Attribute("cc"),
+])
+
+ORDERS = RelationSchema("orders", [
+    Attribute("cust"), Attribute("city"),
+])
+
+
+@pytest.fixture
+def database():
+    db = Database()
+    customer = Relation(CUSTOMER)
+    for i in range(8):
+        customer.insert([f"n{i}", "nyc" if i % 2 else "edi",
+                         "01" if i % 2 else "44"])
+    db.add(customer)
+    orders = Relation(ORDERS)
+    for i in range(4):
+        orders.insert([f"n{i}", "nyc"])
+    db.add(orders)
+    return db
+
+
+@pytest.fixture
+def sql(database):
+    return SQLEngine(database)
+
+
+class TestCodePlanExplain:
+    def test_reports_plan_and_pruning(self, sql):
+        text = sql.explain("SELECT name FROM customer WHERE city = 'nyc'")
+        assert text.splitlines()[0] == \
+            "plan: code (code-native single-table scan on dictionary codes)"
+        assert "push-down filters:" in text
+        assert "customer.city: code set of 1, 8 rows in, 4 pruned, 4 out" in text
+
+    def test_conjuncts_prune_cumulatively(self, sql):
+        text = sql.explain(
+            "SELECT name FROM customer WHERE city = 'nyc' AND cc = '01'")
+        assert "customer.city: code set of 1, 8 rows in, 4 pruned, 4 out" in text
+        assert "customer.cc: code set of 1, 4 rows in, 0 pruned, 4 out" in text
+
+    def test_last_explain_dict(self, sql):
+        sql.explain("SELECT name FROM customer WHERE city = 'nyc'")
+        info = sql.last_explain
+        assert info["plan"] == "code"
+        assert info["filters"][0]["rows_pruned"] == 4
+        assert info["why_not_code"] == []
+
+
+class TestJoinPlanExplain:
+    QUERY = ("SELECT c.name FROM customer c JOIN orders o "
+             "ON c.name = o.cust WHERE c.city = 'nyc'")
+
+    def test_reports_join_shape(self, sql):
+        text = sql.explain(self.QUERY)
+        assert text.splitlines()[0] == \
+            "plan: join (code-native hash join on dictionary codes)"
+        assert "hash join: build o (4 rows, 4 buckets), " \
+               "probe c (8 rows), 1 equi key(s)" in text
+        assert "why not code-native scan:" in text
+        assert "query reads more than one table" in text
+
+    def test_join_info_dict(self, sql):
+        sql.explain(self.QUERY)
+        join = sql.last_explain["join"]
+        assert join == {"build_side": "o", "probe_side": "c",
+                        "build_rows": 4, "probe_rows": 8,
+                        "buckets": 4, "key_pairs": 1}
+
+
+class TestRowPlanExplain:
+    def test_reports_reasons_for_both_paths(self, sql):
+        text = sql.explain(
+            "SELECT name, 1 + 1 AS x FROM customer WHERE city = 'nyc'")
+        assert text.splitlines()[0] == \
+            "plan: row (row-at-a-time reference path)"
+        assert "why not code-native scan:" in text
+        assert "select item (1 + 1) is computed" in text
+        assert "why not code-native join:" in text
+        assert "query does not read exactly two tables" in text
+
+    def test_row_path_still_records_pushdown(self, sql):
+        text = sql.explain(
+            "SELECT name, 1 + 1 AS x FROM customer WHERE city = 'nyc'")
+        assert "customer.city [(city = 'nyc')]: " \
+               "code set of 1, 8 rows in, 4 pruned, 4 out" in text
+
+
+class TestUnionExplain:
+    def test_union_nests_per_select(self, sql):
+        text = sql.explain("SELECT name FROM customer WHERE city = 'nyc' "
+                           "UNION SELECT cust FROM orders")
+        lines = text.splitlines()
+        assert lines[0] == "plan: union"
+        assert "select 1:" in lines and "select 2:" in lines
+        assert sum("plan: code" in line for line in lines) == 2
+
+
+class TestSurfaces:
+    def test_session_sql_explain_returns_pair(self, database):
+        session = SemandaqSession(database)
+        result, text = session.sql(
+            "SELECT name FROM customer WHERE city = 'nyc'", explain=True)
+        assert len(result) == 4
+        assert text.startswith("plan: code")
+
+    def test_session_sql_without_explain_unchanged(self, database):
+        session = SemandaqSession(database)
+        result = session.sql("SELECT name FROM customer WHERE city = 'nyc'")
+        assert len(result) == 4
+
+    def test_format_explain_handles_missing_reasons(self):
+        text = format_explain({"plan": "row", "filters": []})
+        assert "(no reason recorded)" in text

@@ -1,0 +1,123 @@
+"""Unit tests for the repro.obs metrics registry, spans and facade."""
+
+import pytest
+
+from repro import obs
+from repro.obs import Histogram, MetricsRegistry, _NOOP_SPAN
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestHistogram:
+    def test_observe_accumulates(self):
+        histogram = Histogram()
+        for value in (2.0, 4.0, 6.0):
+            histogram.observe(value)
+        summary = histogram.snapshot()
+        assert summary["count"] == 3
+        assert summary["total"] == 12.0
+        assert summary["mean"] == 4.0
+        assert summary["min"] == 2.0
+        assert summary["max"] == 6.0
+
+    def test_empty_snapshot_is_zeroed(self):
+        summary = Histogram().snapshot()
+        assert summary == {"count": 0, "total": 0.0, "mean": 0.0,
+                           "min": 0.0, "max": 0.0}
+
+
+class TestRegistry:
+    def test_counters(self, registry):
+        registry.inc("cache.partition.hit")
+        registry.inc("cache.partition.hit", 2)
+        assert registry.counter("cache.partition.hit") == 3
+        assert registry.counter("never.recorded") == 0
+
+    def test_gauges_overwrite(self, registry):
+        registry.gauge("discovery.lattice.level1.size", 4)
+        registry.gauge("discovery.lattice.level1.size", 6)
+        assert registry.snapshot()["gauges"] == {
+            "discovery.lattice.level1.size": 6}
+
+    def test_histograms_created_on_first_observe(self, registry):
+        assert registry.histogram("engine.task.sql_scan.seconds") is None
+        registry.observe("engine.task.sql_scan.seconds", 0.5)
+        histogram = registry.histogram("engine.task.sql_scan.seconds")
+        assert histogram is not None and histogram.count == 1
+
+    def test_snapshot_sorts_names(self, registry):
+        registry.inc("b.metric")
+        registry.inc("a.metric")
+        assert list(registry.snapshot()["counters"]) == ["a.metric", "b.metric"]
+
+    def test_trace_is_bounded(self, registry):
+        for index in range(obs.TRACE_LIMIT + 10):
+            registry.record_trace("spam", 0.0, {"i": index})
+        assert len(registry.snapshot()["trace"]) == obs.TRACE_LIMIT
+
+    def test_reset_clears_everything(self, registry):
+        registry.inc("a")
+        registry.gauge("b", 1)
+        registry.observe("c", 1.0)
+        registry.record_trace("d", 0.0, {})
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "gauges": {},
+                                       "histograms": {}, "trace": []}
+
+
+class TestPrometheus:
+    def test_counter_rendering(self, registry):
+        registry.inc("cache.partition.hit", 5)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_cache_partition_hit_total counter" in text
+        assert "repro_cache_partition_hit_total 5" in text
+
+    def test_gauge_and_histogram_rendering(self, registry):
+        registry.gauge("discovery.candidate_fds", 12)
+        registry.observe("engine.task.sql_scan.seconds", 0.25)
+        registry.observe("engine.task.sql_scan.seconds", 0.75)
+        text = registry.render_prometheus()
+        assert "repro_discovery_candidate_fds 12" in text
+        assert "# TYPE repro_engine_task_sql_scan_seconds summary" in text
+        assert "repro_engine_task_sql_scan_seconds_count 2" in text
+        assert "repro_engine_task_sql_scan_seconds_sum 1" in text
+        assert "repro_engine_task_sql_scan_seconds_min 0.25" in text
+        assert "repro_engine_task_sql_scan_seconds_max 0.75" in text
+
+    def test_empty_registry_renders_empty(self, registry):
+        assert registry.render_prometheus() == ""
+
+
+class TestSpans:
+    def test_disabled_span_is_shared_noop(self, obs_state):
+        obs.disable()
+        assert obs.span("anything", tag=1) is _NOOP_SPAN
+        assert obs.span("something.else") is _NOOP_SPAN
+        with obs.span("not.recorded"):
+            pass
+        assert obs.metrics()["histograms"] == {}
+
+    def test_enabled_span_records_histogram(self, obs_state):
+        obs.enable()
+        with obs.span("unit.test", relation="r"):
+            pass
+        histogram = obs.metrics()["histograms"]["span.unit.test"]
+        assert histogram["count"] == 1
+        assert histogram["min"] >= 0.0
+
+    def test_trace_records_tags(self, obs_state):
+        obs.enable(trace=True)
+        with obs.span("unit.traced", relation="r"):
+            pass
+        entries = [entry for entry in obs.iter_trace()
+                   if entry[0] == "unit.traced"]
+        assert entries and entries[0][2] == {"relation": "r"}
+
+    def test_facade_enable_disable(self, obs_state):
+        obs.enable(trace=True)
+        assert obs.enabled and obs.trace_enabled
+        obs.disable()
+        assert not obs.enabled and not obs.trace_enabled
