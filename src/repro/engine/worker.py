@@ -20,6 +20,8 @@ output is byte-identical to the sequential columnar path.
 
 from __future__ import annotations
 
+from bisect import bisect_left
+from itertools import product
 from time import perf_counter
 from typing import Any
 
@@ -485,6 +487,218 @@ def _join_probe(state: dict[str, Any],
     return groups
 
 
+# -- SQL multiway-join phase --------------------------------------------------
+
+
+def _gallop(values: list[int], target: int, lo: int, hi: int) -> int:
+    """First index in ``values[lo:hi]`` (ascending) holding ``>= target``.
+
+    Exponential probe then bisect — the standard leapfrog seek, sub-linear
+    when the next match is near and ``O(log n)`` when it is far.
+    """
+    if lo >= hi or values[lo] >= target:
+        return lo
+    step = 1
+    while lo + step < hi and values[lo + step] < target:
+        step <<= 1
+    return bisect_left(values, target, lo + (step >> 1) + 1, min(lo + step, hi))
+
+
+def gallop_intersect(lists: list[list[int]]) -> list[int]:
+    """Sorted intersection of ascending integer lists (leapfrog style).
+
+    Starts from the shortest list and seeks into each other list with
+    galloping search, so the cost tracks the smallest participant — the
+    intersection step of the multiway join, shared by the parent (first
+    variable, over whole relations) and the workers (deeper levels, over
+    already-bound tid groups).
+    """
+    if not lists:
+        return []
+    ordered = sorted(lists, key=len)
+    result = ordered[0]
+    for other in ordered[1:]:
+        if not result:
+            break
+        kept: list[int] = []
+        lo, hi = 0, len(other)
+        for value in result:
+            lo = _gallop(other, value, lo, hi)
+            if lo >= hi:
+                break
+            if other[lo] == value:
+                kept.append(value)
+                lo += 1
+        result = kept
+    return result
+
+
+def multiway_group(arrays: list[list[int]], tids: list[int],
+                   members: list[tuple[int, Any]]) -> dict[int, list[int]]:
+    """Group *tids* by their shared-space code over one variable's members.
+
+    ``members`` are ``(position, translation)`` pairs on one relation —
+    the translation maps that column's codes into the variable's
+    representative dictionary (``None`` when the column *is* the
+    representative).  A tid only lands in a group when every member agrees
+    on a code ``>= 1``: NULL (0) never equals anything and
+    :data:`~repro.relational.columns.NO_PARTNER` (-1) marks values the
+    representative dictionary lacks, so both drop out here, exactly as
+    NULL keys drop out of hash-join buckets.  Tid lists stay ascending
+    (scan order), which is what :func:`gallop_intersect` and the product
+    emission rely on.
+    """
+    position, translation = members[0]
+    codes = arrays[position]
+    rest = members[1:]
+    groups: dict[int, list[int]] = {}
+    for tid in tids:
+        code = codes[tid]
+        if translation is not None:
+            code = translation[code]
+        if code < 1:
+            continue
+        agreed = True
+        for other_position, other_translation in rest:
+            other = arrays[other_position][tid]
+            if other_translation is not None:
+                other = other_translation[other]
+            if other != code:
+                agreed = False
+                break
+        if not agreed:
+            continue
+        bucket = groups.get(code)
+        if bucket is None:
+            groups[code] = [tid]
+        else:
+            bucket.append(tid)
+    return groups
+
+
+def _multiway_probe(state: dict[str, Any],
+                    payload: tuple[str, dict[str, Any], list[int]]) -> Any:
+    """Enumerate the join tuples of one chunk of first-variable candidates.
+
+    The broadcast state holds every relation's code arrays (``tables``,
+    FROM order); the query payload carries the compiled shape: ``levels``
+    is the chosen variable order (per level: the participating tables with
+    their member ``(position, translation)`` pairs), ``base`` the filtered
+    live tids per table (``None`` for tables already grouped at level 0),
+    and ``level_one`` the parent-built ``code -> tids`` groups of the
+    first variable's participants.
+
+    For each candidate code the worker binds the first variable, then
+    recurses the remaining levels generic-join style: re-group each
+    participating table's *currently bound* tids by the level's variable
+    (:func:`multiway_group`), leapfrog-intersect the present codes
+    (:func:`gallop_intersect`), and descend per candidate.  A fully bound
+    assignment emits the cartesian product of the per-table tid lists in
+    FROM order.  The tuples are sorted before returning, so the parent's
+    merge of all chunks is exactly the ascending ``(tid_1, .., tid_N)``
+    enumeration the row path produces.
+
+    Returns ``(sorted tid tuples, per-level candidate counts)`` — the
+    counts feed the obs histogram and EXPLAIN's per-level report.
+    """
+    spec_id, query, candidates = payload
+    tables = state[spec_id]["tables"]
+    levels = query["levels"]
+    base = query["base"]
+    level_one = query["level_one"]
+    depth = len(levels)
+    counts = [0] * depth
+    results: list[tuple[int, ...]] = []
+
+    def descend(level: int, per_table: list[list[int]]) -> None:
+        if level == depth:
+            results.extend(product(*per_table))
+            return
+        maps: list[tuple[int, dict[int, list[int]]]] = []
+        for table, members in levels[level]:
+            groups = multiway_group(tables[table], per_table[table], members)
+            if not groups:
+                return
+            maps.append((table, groups))
+        for code in gallop_intersect([sorted(groups) for _, groups in maps]):
+            counts[level] += 1
+            bound = list(per_table)
+            for table, groups in maps:
+                bound[table] = groups[code]
+            descend(level + 1, bound)
+
+    first_tables = [table for table, _ in levels[0]]
+    for code in candidates:
+        counts[0] += 1
+        per_table = list(base)
+        for table in first_tables:
+            per_table[table] = level_one[table][code]
+        descend(1, per_table)
+    results.sort()
+    return results, counts
+
+
+def _multiway_fold(state: dict[str, Any],
+                   payload: tuple[str, dict[str, Any], list[tuple[int, ...]]]) -> Any:
+    """Group + aggregate one contiguous slice of sorted multiway join tuples.
+
+    The slices arrive in global tuple order (the parent chunks the sorted
+    enumeration of :func:`_multiway_probe`), so chunk-order merging by
+    :class:`~repro.engine.sql.AggregateMerger` reproduces the row path's
+    group first-occurrence order and float fold order exactly.  Same
+    op-code dispatch as :func:`_join_probe`'s grouped branch, with each
+    spec's ``side`` indexing into the N broadcast tables instead of two.
+    """
+    spec_id, query, combos = payload
+    tables = state[spec_id]["tables"]
+    steps: list[tuple[int, int, Any, Any]] = []
+    for spec in query["aggs"]:
+        kind = spec[0]
+        op = AGGREGATE_OPS[kind]
+        if kind == "count_star":
+            steps.append((op, 0, None, None))
+        elif op >= 4:  # min | max carry their ranks array
+            steps.append((op, spec[1], tables[spec[1]][spec[2]], spec[3]))
+        else:
+            steps.append((op, spec[1], tables[spec[1]][spec[2]], None))
+    key_columns = [(side, tables[side][position])
+                   for side, position in query["group"]]
+    single_key = len(key_columns) == 1
+    groups: dict[Any, list] = {}
+    for combo in combos:
+        if single_key:
+            side, codes = key_columns[0]
+            key = codes[combo[side]]
+        elif key_columns:
+            key = tuple(codes[combo[side]] for side, codes in key_columns)
+        else:
+            key = ()
+        entry = groups.get(key)
+        if entry is None:
+            entry = [combo] + [initial_aggregate_state(spec[0])
+                               for spec in query["aggs"]]
+            groups[key] = entry
+        for index, (op, side, codes, ranks) in enumerate(steps, start=1):
+            if op == 0:
+                entry[index] += 1
+                continue
+            code = codes[combo[side]]
+            if code == NULL_CODE:
+                continue
+            if op == 1:
+                entry[index] += 1
+            elif op == 2:
+                entry[index].add(code)
+            elif op == 3:
+                entry[index].append(code)
+            else:
+                rank = ranks[code]
+                best = entry[index]
+                if best is None or (rank < best[0] if op == 4 else rank > best[0]):
+                    entry[index] = (rank, code)
+    return groups
+
+
 # -- discovery subset-refinement phase ---------------------------------------
 
 
@@ -581,6 +795,8 @@ _HANDLERS = {
     "cind_rhs": _cind_rhs,
     "cind_lhs": _cind_lhs,
     "join_probe": _join_probe,
+    "multiway_fold": _multiway_fold,
+    "multiway_probe": _multiway_probe,
     "partition_scan": _partition_scan,
     "sql_scan": _sql_scan,
     "subset_check": _subset_check,

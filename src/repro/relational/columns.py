@@ -241,6 +241,109 @@ class DictionaryBridge:
                 f"{self.target.attribute!r}, {self.mode}, "
                 f"{matched}/{max(0, len(self.translation) - 1)} matched)")
 
+    def compose(self, other: "DictionaryBridge | ComposedBridge") -> "ComposedBridge":
+        """The chained translation ``self ∘ other``: source codes of *self*
+        translated all the way into the *target* dictionary of *other*.
+
+        Requires ``self.target is other.source`` (the hops must chain).
+        The result revalidates every hop on :meth:`ComposedBridge.ensure_fresh`.
+        """
+        hops = [self] + (list(other.hops) if isinstance(other, ComposedBridge)
+                         else [other])
+        return ComposedBridge(hops)
+
+
+class ComposedBridge:
+    """A chained code→code translation across two or more bridge hops.
+
+    Multiway join variables can span columns with no direct bridge between
+    them: member ``k`` of a variable bridges to member ``k-1``, which
+    bridges onward until the variable's representative column is reached.
+    ``translation[source code]`` is the code in the *final* hop's target
+    dictionary, or :data:`NO_PARTNER` when any hop loses the value.  NULL
+    maps to NULL through every hop.
+
+    Losing a value at an intermediate hop is join-safe: a value absent from
+    an intermediate member's dictionary has no live tuple in that member's
+    relation either, so the multiway intersection would exclude it anyway.
+
+    Validity is per hop: the composition caches each hop's
+    ``(generation, size)`` stamps of both dictionaries at build time, and
+    :meth:`ensure_fresh` rebuilds the composed translation **in place**
+    (list identity survives, like :class:`DictionaryBridge`) when any hop
+    is stale *or* was rebuilt elsewhere since this composition last looked.
+    """
+
+    __slots__ = ("hops", "translation", "_states")
+
+    def __init__(self, hops: Sequence[DictionaryBridge]) -> None:
+        if len(hops) < 2:
+            raise ValueError("a composed bridge needs at least two hops")
+        for first, second in zip(hops, hops[1:]):
+            if first.target is not second.source:
+                raise ValueError(
+                    f"bridge hops do not chain: {first!r} ends at a column "
+                    f"different from where {second!r} starts")
+        self.hops: tuple[DictionaryBridge, ...] = tuple(hops)
+        self.translation: list[int] = []
+        self._states: list[tuple[tuple[int, int], tuple[int, int]]] = []
+        self._rebuild()
+
+    @property
+    def source(self) -> "Column":
+        return self.hops[0].source
+
+    @property
+    def target(self) -> "Column":
+        return self.hops[-1].target
+
+    def is_stale(self) -> bool:
+        """Whether any hop's dictionaries moved (or the hop was rebuilt)."""
+        for hop, (source_state, target_state) in zip(self.hops, self._states):
+            if (hop.is_stale()
+                    or hop._source_state != source_state
+                    or hop._target_state != target_state):
+                return True
+        return False
+
+    def ensure_fresh(self) -> "ComposedBridge":
+        """Recompose the translation in place if any hop moved."""
+        if self.is_stale():
+            if obs.enabled:
+                obs.inc("cache.bridge.rebuilt")
+            self._rebuild()
+        elif obs.enabled:
+            obs.inc("cache.bridge.valid")
+        return self
+
+    def _rebuild(self) -> None:
+        for hop in self.hops:
+            hop.ensure_fresh()
+        translation = list(self.hops[0].translation)
+        for hop in self.hops[1:]:
+            step = hop.translation
+            # NO_PARTNER is -1: indexing with it would silently read the
+            # last slot, so non-positive codes are mapped explicitly.
+            translation = [step[code] if code > 0 else code
+                           for code in translation]
+        translation[NULL_CODE] = NULL_CODE
+        self.translation[:] = translation
+        self._states = [(hop._source_state, hop._target_state)
+                        for hop in self.hops]
+
+    def compose(self, other: "DictionaryBridge | ComposedBridge") -> "ComposedBridge":
+        """Extend the chain with further hop(s)."""
+        hops = list(self.hops) + (list(other.hops)
+                                  if isinstance(other, ComposedBridge)
+                                  else [other])
+        return ComposedBridge(hops)
+
+    def __repr__(self) -> str:
+        matched = sum(1 for code in self.translation[1:] if code != NO_PARTNER)
+        return (f"ComposedBridge({self.source.attribute!r} -> "
+                f"{self.target.attribute!r}, {len(self.hops)} hops, "
+                f"{matched}/{max(0, len(self.translation) - 1)} matched)")
+
 
 class Column:
     """One dictionary-encoded attribute of a relation.

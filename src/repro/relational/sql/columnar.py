@@ -919,3 +919,377 @@ def finalize_join_aggregate(spec: tuple, state: Any, relations: tuple) -> Any:
         return state
     return finalize_aggregate((spec[0], spec[2]) + tuple(spec[3:]), state,
                               relations[spec[1]])
+
+
+# -- multiway (3+ table) join plan compilation --------------------------------
+#
+# Statements joining three or more tables compile to a worst-case-optimal
+# (generic/leapfrog) join instead of a cascade of binary hash joins: the
+# equi-join graph is resolved into *join variables* (connected components
+# of equated columns), every member column is translated into the
+# variable's representative dictionary via (possibly composed) bridges,
+# and evaluation binds one variable at a time — sorted-intersecting the
+# codes present in each participating table, then descending per
+# candidate.  The variable order is chosen greedily by estimated
+# selectivity (smallest distinct count first) and tightened by functional
+# dependencies: a variable functionally determined by already-bound
+# attributes binds (nearly) for free, so it is pulled forward, following
+# "Computing Join Queries with Functional Dependencies" (Abo Khamis, Ngo
+# & Suciu).
+
+
+class MultiJoinPlan:
+    """A compiled code-native plan for an N-table (3+) INNER JOIN SELECT.
+
+    Every resolved column is a ``(side, position)`` pair with ``side`` the
+    table's FROM-order index; the row path's name-resolution rules are
+    baked in at compile time exactly as in :class:`JoinPlan`.  ``var_order``
+    is the chosen variable order: per level the member columns (ascending
+    ``(side, position)``, the first member owning the representative
+    dictionary), whether the variable is FD-implied by earlier levels, and
+    the selectivity estimate that drove the greedy choice.
+    """
+
+    __slots__ = ("relations", "tables", "var_order", "filters", "grouped",
+                 "group_keys", "agg_calls", "agg_specs", "items", "names",
+                 "having", "order_ranks")
+
+    def __init__(self, relations: tuple, tables: tuple) -> None:
+        self.relations = relations
+        self.tables = tables
+        #: ordered join variables: (members, fd_implied, distinct estimate).
+        self.var_order: list[tuple[tuple[tuple[int, int], ...], bool, int]] = []
+        #: per-side WHERE push-down: ``(position, allowed codes)`` lists.
+        self.filters: tuple[list, ...] = ()
+        self.grouped = False
+        self.group_keys: tuple[tuple[int, int], ...] = ()
+        self.agg_calls: list[AggregateCall] = []
+        self.agg_specs: list[tuple] = []
+        #: output layout: ("col", side, position) | ("agg", i) | ("expr", e).
+        self.items: list[tuple] = []
+        self.names: list[str] = []
+        self.having: Expression | None = None
+        #: plain ORDER BY as (side, position, descending) rank sorts, or None.
+        self.order_ranks: list[tuple[int, int, bool]] | None = None
+
+
+def _as_multi_equi(conjunct: Expression,
+                   sides: tuple) -> tuple[tuple[int, int], tuple[int, int]] | None:
+    """The two ``(side, position)`` ends of a cross-table equi conjunct.
+
+    Same shape rule as :func:`_as_join_key` (a ``=`` between two qualified
+    column references on distinct tables), generalised to N sides.
+    """
+    if not isinstance(conjunct, Comparison) or conjunct.operator != "=":
+        return None
+    left, right = conjunct.left, conjunct.right
+    if not isinstance(left, ColumnRef) or not isinstance(right, ColumnRef):
+        return None
+    if left.qualifier is None or right.qualifier is None:
+        return None
+    a = _join_position(left, sides)
+    b = _join_position(right, sides)
+    if a is None or b is None or a[0] == b[0]:
+        return None
+    return a, b
+
+
+def _join_variables(edges: list[tuple[tuple[int, int], tuple[int, int]]]
+                    ) -> list[tuple[tuple[int, int], ...]]:
+    """Connected components of equated columns, each a sorted member tuple.
+
+    Transitivity is deliberate: ``a.x = b.y AND b.y = c.z`` makes one
+    variable over three columns — and ``a.x = b.y AND b.y = a.w`` folds
+    two columns of one table into the same variable, which the evaluation
+    honours by requiring every member of a table to agree on the code.
+    """
+    parent: dict[tuple[int, int], tuple[int, int]] = {}
+
+    def find(node: tuple[int, int]) -> tuple[int, int]:
+        root = node
+        while parent.setdefault(root, root) != root:
+            root = parent[root]
+        while parent[node] != root:
+            parent[node], node = root, parent[node]
+        return root
+
+    for a, b in edges:
+        parent[find(a)] = find(b)
+    components: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    for node in parent:
+        components.setdefault(find(node), []).append(node)
+    return sorted(tuple(sorted(members)) for members in components.values())
+
+
+def _ordered_variables(variables: list[tuple[tuple[int, int], ...]],
+                       relations: tuple, fds: list | None
+                       ) -> list[tuple[tuple[tuple[int, int], ...], bool, int]]:
+    """Greedy variable order: FD-implied first, then smallest distinct count.
+
+    The estimate of a variable is the smallest live distinct count among
+    its member columns (the intersection can only be smaller).  A variable
+    with a member inside the Armstrong closure of the attributes its table
+    has already bound is functionally determined — at most one candidate
+    survives per partial assignment — so it orders ahead of everything
+    that still branches.  Ties keep the discovery order, which is
+    deterministic (variables arrive sorted by member positions).
+    """
+    from repro.constraints.fd import closure
+
+    side_fds: list[list] = [[] for _ in relations]
+    for fd in fds or ():
+        name = fd.relation_name.lower()
+        for side, relation in enumerate(relations):
+            if relation.name.lower() == name:
+                side_fds[side].append(fd)
+
+    def attribute(side: int, position: int) -> str:
+        return relations[side].schema.attributes[position].name.lower()
+
+    estimates = [min(relations[side].columns.column_at(position).distinct_count()
+                     for side, position in members)
+                 for members in variables]
+    bound: list[set[str]] = [set() for _ in relations]
+    remaining = list(range(len(variables)))
+    ordered: list[tuple[tuple[tuple[int, int], ...], bool, int]] = []
+    while remaining:
+        best_key: tuple | None = None
+        best_index = -1
+        best_implied = False
+        for index in remaining:
+            implied = any(
+                bound[side] and side_fds[side]
+                and attribute(side, position) in closure(bound[side],
+                                                         side_fds[side])
+                for side, position in variables[index])
+            key = (0 if implied else 1, estimates[index], index)
+            if best_key is None or key < best_key:
+                best_key, best_index, best_implied = key, index, implied
+        ordered.append((variables[best_index], best_implied,
+                        estimates[best_index]))
+        remaining.remove(best_index)
+        for side, position in variables[best_index]:
+            bound[side].add(attribute(side, position))
+    return ordered
+
+
+def compile_multi_join_plan(database: "Database", statement: SelectStatement,
+                            reasons: list[str] | None = None,
+                            fds: list | None = None) -> MultiJoinPlan | None:
+    """Compile a 3+-table INNER JOIN to a :class:`MultiJoinPlan`, or ``None``.
+
+    Requirements generalise :func:`compile_join_plan`: three or more
+    tables with pairwise-distinct binding names, inner joins only, every
+    conjunct either a both-qualified cross-table equi key or a single-side
+    code-set filter, and the equi-join graph connecting *all* tables (a
+    disconnected graph means a cross product, which stays on the row
+    path).  When *reasons* is a list, every fallback appends an
+    explanation for ``EXPLAIN``.
+    """
+    tables = list(statement.tables) + [join.table for join in statement.joins]
+    if len(tables) < 3:
+        return _note(reasons, "query reads fewer than three tables")
+    if any(join.kind != "inner" for join in statement.joins):
+        return _note(reasons, "only INNER joins compile to multiway joins")
+    bindings = [table.binding_name.lower() for table in tables]
+    if len(set(bindings)) != len(bindings):
+        return _note(reasons, "tables share a binding name")
+    try:
+        relations = tuple(database.relation(table.relation_name) for table in tables)
+    except ReproError:
+        # unknown relation: the row path raises the canonical error
+        return _note(reasons, "unknown relation in FROM")
+    sides = tuple(zip(tables, relations))
+    plan = MultiJoinPlan(relations, tuple(tables))
+    plan.filters = tuple([] for _ in tables)
+
+    conjuncts = flatten_conjuncts(statement.where)
+    for join in statement.joins:
+        conjuncts.extend(flatten_conjuncts(join.condition))
+    edges: list[tuple[tuple[int, int], tuple[int, int]]] = []
+    for conjunct in conjuncts:
+        edge = _as_multi_equi(conjunct, sides)
+        if edge is not None:
+            edges.append(edge)
+            continue
+        compiled = _compile_join_filter(conjunct, sides)
+        if compiled is None:
+            return _note(reasons,
+                         f"conjunct {conjunct} is neither an equi key "
+                         "nor a single-side code-set test")
+        side, position, codes = compiled
+        plan.filters[side].append((position, codes))
+    if not edges:
+        return _note(reasons, "no equi-join key between the tables")
+
+    variables = _join_variables(edges)
+    linked: dict[int, int] = {}
+
+    def find_table(table_index: int) -> int:
+        root = table_index
+        while linked.setdefault(root, root) != root:
+            root = linked[root]
+        return root
+
+    for members in variables:
+        first = find_table(members[0][0])
+        for side, _ in members[1:]:
+            linked[find_table(side)] = first
+    if len({find_table(side) for side in range(len(tables))}) != 1:
+        return _note(reasons,
+                     "equi keys do not connect all tables (cross product)")
+    plan.var_order = _ordered_variables(variables, relations, fds)
+
+    try:
+        items = expanded_items(database, statement)
+    except SQLExecutionError:
+        # e.g. a bad 'alias.*': the row path raises identically
+        return _note(reasons, "select items do not expand cleanly")
+    plan.names = [name for name, _ in items]
+
+    if statement.has_aggregates():
+        plan.grouped = True
+        keys: list[tuple[int, int]] = []
+        for expression in statement.group_by:
+            if not isinstance(expression, ColumnRef):
+                return _note(reasons, "GROUP BY on an expression")
+            resolved = _join_position(expression, sides)
+            if resolved is None:
+                return _note(reasons,
+                             f"GROUP BY column {expression} does not resolve")
+            keys.append(resolved)
+        plan.group_keys = tuple(keys)
+
+        registry: dict[AggregateCall, int] = {}
+        for _, expression in items:
+            if isinstance(expression, AggregateCall):
+                index = _register_multi_aggregate(plan, registry, expression, sides)
+                if index is None:
+                    return _note(reasons,
+                                 f"aggregate {expression} has no code-level spec")
+                plan.items.append(("agg", index))
+            else:
+                for call in collect_aggregates(expression):
+                    if _register_multi_aggregate(plan, registry, call, sides) is None:
+                        return _note(reasons,
+                                     f"aggregate {call} has no code-level spec")
+                plan.items.append(("expr", expression))
+        plan.having = statement.having
+        for call in collect_aggregates(statement.having):
+            if _register_multi_aggregate(plan, registry, call, sides) is None:
+                return _note(reasons,
+                             f"HAVING aggregate {call} has no code-level spec")
+        return plan
+
+    for _, expression in items:
+        resolved = _join_position(expression, sides) \
+            if isinstance(expression, ColumnRef) else None
+        if resolved is None:
+            return _note(reasons, f"select item {expression} is computed")
+        plan.items.append(("col",) + resolved)
+    plan.order_ranks = _join_order_ranks(plan, statement)
+    return plan
+
+
+def _register_multi_aggregate(plan: MultiJoinPlan,
+                              registry: dict[AggregateCall, int],
+                              call: AggregateCall, sides: tuple) -> int | None:
+    index = registry.get(call)
+    if index is not None:
+        return index
+    spec = _join_aggregate_spec(call, sides)  # side-tagged, N-side safe
+    if spec is None:
+        return None
+    index = len(plan.agg_calls)
+    registry[call] = index
+    plan.agg_calls.append(call)
+    plan.agg_specs.append(spec)
+    return index
+
+
+def multiway_base_tids(plan: MultiJoinPlan) -> list[list[int]]:
+    """Per-table live tids surviving that table's push-down filters."""
+    base: list[list[int]] = []
+    for side, relation in enumerate(plan.relations):
+        store = relation.columns
+        filters = [(store.column_at(position).codes, allowed)
+                   for position, allowed in plan.filters[side]]
+        if filters:
+            base.append([tid for tid in relation.tids()
+                         if all(codes[tid] in allowed
+                                for codes, allowed in filters)])
+        else:
+            base.append(list(relation.tids()))
+    return base
+
+
+def multiway_query_payload(plan: MultiJoinPlan
+                           ) -> tuple[dict[str, Any], list[int]]:
+    """The picklable ``multiway_probe`` query and the first-level candidates.
+
+    Per level the payload carries, for each participating table, the
+    member ``(position, translation)`` pairs that map that column's codes
+    into the variable's representative dictionary.  The representative is
+    the first member; later members bridge to the *previous* member's
+    column and compose onward
+    (:meth:`~repro.relational.columns.DictionaryBridge.compose`), so every
+    hop is revalidated against its dictionaries' generation+size stamps on
+    every query.  Chaining through intermediate dictionaries is join-safe:
+    a value an intermediate member never saw has no live tuple there, so
+    the intersection would drop it regardless.
+
+    The first variable's groups are built here (parent side) so their
+    sorted-code intersection — the candidate list the engine chunks — is
+    computed once, not per worker.
+    """
+    from repro.engine.worker import gallop_intersect, multiway_group
+
+    stores = [relation.columns for relation in plan.relations]
+    arrays = [store.code_arrays(range(relation.schema.arity))
+              for store, relation in zip(stores, plan.relations)]
+    levels: list[list[tuple[int, list[tuple[int, Any]]]]] = []
+    for members, _, _ in plan.var_order:
+        chain = None  # translation of the previous member into the rep space
+        previous_column = None
+        translations: list[Any] = []
+        for side, position in members:
+            column = stores[side].column_at(position)
+            if previous_column is None:
+                translations.append(None)
+            else:
+                hop = column.bridge_to(previous_column)
+                chain = hop if chain is None else hop.compose(chain)
+                translations.append(chain.translation)
+            previous_column = column
+        per_side: dict[int, list[tuple[int, Any]]] = {}
+        for (side, position), translation in zip(members, translations):
+            per_side.setdefault(side, []).append((position, translation))
+        levels.append(sorted(per_side.items()))
+
+    base = multiway_base_tids(plan)
+    level_one: dict[int, dict[int, list[int]]] = {}
+    code_lists: list[list[int]] = []
+    for side, member_list in levels[0]:
+        groups = multiway_group(arrays[side], base[side], member_list)
+        level_one[side] = groups
+        code_lists.append(sorted(groups))
+    candidates = gallop_intersect(code_lists)
+    query = {
+        "levels": levels,
+        "base": [None if side in level_one else tids
+                 for side, tids in enumerate(base)],
+        "level_one": level_one,
+    }
+    return query, candidates
+
+
+def multiway_fold_payload(plan: MultiJoinPlan) -> dict[str, Any]:
+    """The picklable ``multiway_fold`` query: group keys + side-tagged specs."""
+    aggs: list[tuple] = []
+    for spec in plan.agg_specs:
+        if spec[0] in ("min", "max"):
+            ranks = plan.relations[spec[1]].columns.column_at(spec[2]).order().ranks
+            aggs.append((spec[0], spec[1], spec[2], ranks))
+        else:
+            aggs.append(spec)
+    return {"group": plan.group_keys, "aggs": aggs}

@@ -30,12 +30,16 @@ class SQLEngine:
     """
 
     def __init__(self, database: Database, engine: str | None = None,
-                 workers: int | None = None, use_columns: bool = True) -> None:
+                 workers: int | None = None, use_columns: bool = True,
+                 fds: Any = None) -> None:
         from repro.engine.executor import resolve_pool
 
         self._database = database
+        # fds are variable-ordering hints for multiway joins; they never
+        # change results, only the order join variables are bound in.
         self._executor = SQLExecutor(database, use_columns=use_columns,
-                                     pool=resolve_pool(engine, workers))
+                                     pool=resolve_pool(engine, workers),
+                                     fds=fds)
 
     @property
     def database(self) -> Database:
@@ -43,7 +47,8 @@ class SQLEngine:
 
     @property
     def last_plan(self) -> str | None:
-        """The path the last SELECT took: ``"code"`` or ``"row"`` (diagnostics)."""
+        """The path the last SELECT took: ``"code"``, ``"join"``,
+        ``"multiway"`` or ``"row"`` (diagnostics)."""
         return self._executor.last_plan
 
     @property

@@ -60,10 +60,12 @@ from repro.relational.sql.ast import (
 from repro.relational.sql.columnar import (
     CodePlan,
     JoinPlan,
+    MultiJoinPlan,
     build_join_buckets,
     collect_aggregates,
     compile_filter,
     compile_join_plan,
+    compile_multi_join_plan,
     compile_plan,
     empty_aggregate_state,
     expanded_items,
@@ -71,6 +73,8 @@ from repro.relational.sql.columnar import (
     finalize_join_aggregate,
     flatten_conjuncts,
     join_query_payload,
+    multiway_fold_payload,
+    multiway_query_payload,
     query_payload,
     rewrite_aggregates,
 )
@@ -287,19 +291,25 @@ class SQLExecutor:
     path for everything (no code-native plans, no code-set push-down).
     *pool* is an :class:`~repro.engine.executor.ExecutorPool`: when given,
     code-native scans fan out across it chunk by chunk (results are
-    identical — the engine is an execution detail).
+    identical — the engine is an execution detail).  *fds* are
+    :class:`~repro.constraints.fd.FunctionalDependency` hints the multiway
+    planner uses to tighten its variable order (they never change
+    results).
     """
 
     def __init__(self, database: Database, use_columns: bool = True,
-                 pool: Any = None) -> None:
+                 pool: Any = None, fds: Any = None) -> None:
         self._database = database
         self._use_columns = use_columns
         self._pool = pool
+        self._fds = list(fds) if fds else []
         #: per-relation chunked engines (broadcast state survives queries).
         self._engines: dict[str, Any] = {}
         #: per-relation-pair chunked join engines, keyed by binding pair.
         self._join_engines: dict[tuple[str, str], Any] = {}
-        #: the path the last SELECT took: "code", "join" or "row".
+        #: per-relation-tuple chunked multiway engines, keyed by name tuple.
+        self._multi_engines: dict[tuple[str, ...], Any] = {}
+        #: the path the last SELECT took: "code", "join", "multiway" or "row".
         self.last_plan: str | None = None
         #: EXPLAIN info for the last statement run with ``explain=True``.
         self.last_explain: dict[str, Any] | None = None
@@ -350,10 +360,12 @@ class SQLExecutor:
         info: dict[str, Any] | None = None
         if explain:
             info = {"plan": "row", "why_not_code": [], "why_not_join": [],
-                    "filters": [], "join": None}
+                    "why_not_multiway": [], "filters": [], "join": None,
+                    "multiway": None}
             if not self._use_columns:
                 info["why_not_code"].append("use_columns=False")
                 info["why_not_join"].append("use_columns=False")
+                info["why_not_multiway"].append("use_columns=False")
         self._explain = info
         if self._use_columns:
             plan = compile_plan(self._database, statement,
@@ -381,6 +393,20 @@ class SQLExecutor:
                         info["plan"] = "join"
                     output_rows, names, pre_ordered = self._execute_join_plan(join_plan)
                     ran_code = True
+                else:
+                    multi_plan = compile_multi_join_plan(
+                        self._database, statement,
+                        info["why_not_multiway"] if info is not None else None,
+                        self._fds)
+                    if multi_plan is not None:
+                        self.last_plan = "multiway"
+                        if obs.enabled:
+                            obs.inc("sql.plan.multiway")
+                        if info is not None:
+                            info["plan"] = "multiway"
+                        output_rows, names, pre_ordered = \
+                            self._execute_multi_join_plan(multi_plan)
+                        ran_code = True
         if obs.enabled and not ran_code:
             obs.inc("sql.plan.row")
 
@@ -658,13 +684,105 @@ class SQLExecutor:
             self._join_engines[key] = engine
         return engine
 
-    def _join_order(self, plan: JoinPlan,
-                    pairs: list[tuple[int, int]]) -> tuple[list[tuple[int, int]], bool]:
-        """Order joined pairs by dictionary ranks when the plan allows it.
+    # -- code-native multiway (3+ table) join execution ----------------------
 
-        The pair-level twin of :meth:`_code_order` — same ascending rank
+    def _execute_multi_join_plan(self, plan: MultiJoinPlan
+                                 ) -> tuple[list[list[Any]], list[str], bool]:
+        """Run a compiled multiway plan; returns (rows, names, pre-ordered).
+
+        Two phases.  The probe enumerates the join — first variable
+        intersected parent-side, candidates chunked across
+        ``multiway_probe`` workers, per-chunk sorted runs merged into the
+        global ascending tid-tuple order the row path emits.  Grouped
+        statements then fold aggregates over contiguous slices of that
+        sorted enumeration (``multiway_fold``), so chunk-order merging
+        preserves group first-occurrence order and float fold order
+        exactly.
+        """
+        relations = plan.relations
+        query, candidates = multiway_query_payload(plan)
+        info = self._explain
+        if info is not None:
+            for side, table in enumerate(plan.tables):
+                info["filters"].extend(self._explain_filters(
+                    relations[side], table.binding_name, plan.filters[side]))
+
+        engine = None
+        if self._pool is None:
+            from repro.engine import worker
+            from repro.engine.multijoin import MULTI_SPEC, multi_join_state
+
+            state = multi_join_state(relations)
+            [(seconds, (combos, counts))] = worker.run_local_timed(
+                state, [("multiway_probe", (MULTI_SPEC, query, candidates))])
+            if obs.enabled:
+                obs.observe("engine.task.multiway_probe.seconds", seconds)
+        else:
+            engine = self._multi_engine(relations)
+            combos, counts = engine.probe(query, candidates)
+
+        if obs.enabled:
+            for count in counts:
+                obs.observe("sql.multiway.candidates", count)
+        if info is not None:
+            info["multiway"] = {
+                "tables": [table.binding_name for table in plan.tables],
+                "order": [{
+                    "members": [
+                        f"{plan.tables[side].binding_name}."
+                        f"{relations[side].schema.attribute_names[position]}"
+                        for side, position in members],
+                    "fd_implied": fd_implied,
+                    "estimate": estimate,
+                    "candidates": counts[level],
+                } for level, (members, fd_implied, estimate)
+                    in enumerate(plan.var_order)],
+                "tuples": len(combos),
+            }
+
+        if plan.grouped:
+            fold_query = multiway_fold_payload(plan)
+            if engine is None:
+                from repro.engine import worker
+                from repro.engine.multijoin import MULTI_SPEC
+
+                [(seconds, result)] = worker.run_local_timed(
+                    state, [("multiway_fold", (MULTI_SPEC, fold_query, combos))])
+                if obs.enabled:
+                    obs.observe("engine.task.multiway_fold.seconds", seconds)
+            else:
+                result = engine.fold(fold_query, combos)
+            return self._join_grouped_output(plan, result), list(plan.names), False
+
+        combos, pre_ordered = self._join_order(plan, combos)
+        stores = [relation.columns for relation in relations]
+        columns = [(side, stores[side].column_at(position))
+                   for _, side, position in plan.items]
+        output_rows = [[column.values[column.codes[combo[side]]]
+                        for side, column in columns]
+                       for combo in combos]
+        return output_rows, list(plan.names), pre_ordered
+
+    def _multi_engine(self, relations: tuple) -> Any:
+        """The per-relation-tuple multiway engine (broadcast state cached)."""
+        from repro.engine.multijoin import ChunkedMultiJoinEngine
+
+        key = tuple(relation.name.lower() for relation in relations)
+        engine = self._multi_engines.get(key)
+        if engine is None or any(cached is not relation for cached, relation
+                                 in zip(engine.relations, relations)):
+            engine = ChunkedMultiJoinEngine(relations, self._pool)
+            self._multi_engines[key] = engine
+        return engine
+
+    def _join_order(self, plan: JoinPlan | MultiJoinPlan,
+                    pairs: list[tuple[int, ...]]) -> tuple[list[tuple[int, ...]], bool]:
+        """Order joined tid tuples by dictionary ranks when the plan allows it.
+
+        The tuple-level twin of :meth:`_code_order` — same ascending rank
         tuples, full reverse when every key is descending, stable per-key
-        re-sorts for mixed directions.
+        re-sorts for mixed directions.  Works on pairs and on N-tuples
+        alike (every ``order_ranks`` entry carries its side).
         """
         order = plan.order_ranks
         if not order:
@@ -689,7 +807,7 @@ class SQLExecutor:
             ordered = list(reversed(ordered))
         return ordered, True
 
-    def _join_grouped_output(self, plan: JoinPlan,
+    def _join_grouped_output(self, plan: JoinPlan | MultiJoinPlan,
                              merged: dict[Any, list]) -> list[list[Any]]:
         """Assemble grouped join output from merged partial-aggregate states."""
         relations = plan.relations
@@ -729,18 +847,18 @@ class SQLExecutor:
             output.append(values)
         return output
 
-    def _join_representative_context(self, plan: JoinPlan,
-                                     pair: tuple[int, int] | None) -> EvaluationContext:
-        """The binding context of a group's first joined pair.
+    def _join_representative_context(self, plan: JoinPlan | MultiJoinPlan,
+                                     pair: tuple[int, ...] | None) -> EvaluationContext:
+        """The binding context of a group's first joined tuple.
 
-        Bindings mirror :meth:`_ExecRow.merged`: the left table's
-        unqualified names are set first and the right table never shadows
-        them; qualified names always bind to their own table.
+        Bindings mirror :meth:`_ExecRow.merged`: earlier tables' unqualified
+        names are set first and later tables never shadow them; qualified
+        names always bind to their own table.
         """
         if pair is None:
             return EvaluationContext({})
         bindings: dict[str, Any] = {}
-        for side in (0, 1):
+        for side in range(len(plan.relations)):
             relation = plan.relations[side]
             store = relation.columns
             binding = plan.tables[side].binding_name.lower()

@@ -2,9 +2,10 @@
 
 The executor collects a plain dict per statement when asked to explain
 (:meth:`~repro.relational.sql.executor.SQLExecutor.execute` with
-``explain=True``): the chosen plan (``code`` / ``join`` / ``row`` /
-``union``), the reasons the faster paths were rejected, per-conjunct
-push-down pruning stats, and hash-join shape.  :func:`format_explain`
+``explain=True``): the chosen plan (``code`` / ``join`` / ``multiway`` /
+``row`` / ``union``), the reasons the faster paths were rejected,
+per-conjunct push-down pruning stats, and hash-join / multiway-join
+shape (variable order with per-level candidate counts).  :func:`format_explain`
 turns that dict into the text the CLI ``--explain`` flag and
 ``SQLEngine.explain`` print.  The dict itself stays available for
 programmatic use (``SQLEngine.last_explain``).
@@ -17,6 +18,7 @@ from typing import Any
 _PLAN_DESCRIPTIONS = {
     "code": "code-native single-table scan on dictionary codes",
     "join": "code-native hash join on dictionary codes",
+    "multiway": "code-native leapfrog multiway join on rank arrays",
     "row": "row-at-a-time reference path",
 }
 
@@ -61,12 +63,28 @@ def format_explain(info: dict[str, Any]) -> str:
             f"probe {join['probe_side']} ({join['probe_rows']} rows), "
             f"{join['key_pairs']} equi key(s)")
 
+    multiway = info.get("multiway")
+    if multiway:
+        lines.append(
+            f"multiway join: {' ⋈ '.join(multiway['tables'])}, "
+            f"{len(multiway['order'])} join variable(s), "
+            f"{multiway['tuples']} tuple(s)")
+        lines.append("variable order:")
+        for level, entry in enumerate(multiway["order"]):
+            tag = ", fd-implied" if entry["fd_implied"] else ""
+            lines.append(
+                f"  {level + 1}. {' = '.join(entry['members'])} "
+                f"(estimate {entry['estimate']}{tag}): "
+                f"{entry['candidates']} candidate(s)")
+
     if plan != "code":
         _append_reasons(lines, "why not code-native scan:",
                         info.get("why_not_code") or [])
     if plan == "row":
         _append_reasons(lines, "why not code-native join:",
                         info.get("why_not_join") or [])
+        _append_reasons(lines, "why not code-native multiway join:",
+                        info.get("why_not_multiway") or [])
     return "\n".join(lines)
 
 

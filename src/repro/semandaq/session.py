@@ -104,6 +104,9 @@ class SemandaqSession:
             cfd.validate_against(self._database.relation(cfd.relation_name))
         self._cfds.extend(added)
         self._cfd_detectors = None
+        # new CFDs may sharpen multiway-join variable ordering (FD hints);
+        # rebuild the SQL engine lazily on the next query
+        self._sql_engine = None
         return added
 
     def register_cinds(self, cinds: Sequence[CIND | str] | str) -> list[CIND]:
@@ -199,8 +202,12 @@ class SemandaqSession:
         from repro.relational.sql.explain import format_explain
 
         if self._sql_engine is None:
+            # variable CFDs hold on every tuple matching their (all-wildcard
+            # RHS) patterns, so their embedded FDs are safe variable-ordering
+            # hints for multiway joins — ordering never changes results
+            hints = [cfd.embedded_fd for cfd in self._cfds if cfd.is_variable()]
             self._sql_engine = SQLEngine(self._database, engine=self._engine,
-                                         workers=self._workers)
+                                         workers=self._workers, fds=hints)
         result = self._sql_engine.query(query, result_name=result_name,
                                         explain=explain)
         if not explain:

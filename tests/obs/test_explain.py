@@ -81,6 +81,54 @@ class TestJoinPlanExplain:
                         "buckets": 4, "key_pairs": 1}
 
 
+REGIONS = RelationSchema("regions", [
+    Attribute("city"), Attribute("region"),
+])
+
+
+class TestMultiwayPlanExplain:
+    QUERY = ("SELECT c.name, r.region FROM customer c, orders o, regions r "
+             "WHERE c.name = o.cust AND o.city = r.city")
+
+    @pytest.fixture
+    def sql3(self, database):
+        regions = Relation(REGIONS)
+        regions.insert(["nyc", "us"])
+        regions.insert(["edi", "uk"])
+        database.add(regions)
+        return SQLEngine(database)
+
+    def test_reports_variable_order_and_candidates(self, sql3):
+        text = sql3.explain(self.QUERY)
+        assert text.splitlines()[0] == \
+            "plan: multiway (code-native leapfrog multiway join on rank arrays)"
+        assert "multiway join: c ⋈ o ⋈ r, 2 join variable(s)" in text
+        assert "variable order:" in text
+        lines = [line for line in text.splitlines()
+                 if line.startswith(("  1.", "  2."))]
+        assert len(lines) == 2
+        assert any("c.name = o.cust" in line for line in lines)
+        assert any("o.city = r.city" in line for line in lines)
+        assert all("candidate(s)" in line for line in lines)
+
+    def test_multiway_info_dict(self, sql3):
+        sql3.explain(self.QUERY)
+        block = sql3.last_explain["multiway"]
+        assert block["tables"] == ["c", "o", "r"]
+        assert block["tuples"] == 4
+        assert [sorted(entry) for entry in map(dict.keys, block["order"])] == \
+            [["candidates", "estimate", "fd_implied", "members"]] * 2
+
+    def test_unsupported_statement_reports_multiway_reason(self, sql3):
+        text = sql3.explain(
+            "SELECT c.name, o.city, r.region FROM customer c, orders o, regions r "
+            "WHERE c.name = o.cust AND LENGTH(o.city) = 3")
+        assert text.splitlines()[0] == \
+            "plan: row (row-at-a-time reference path)"
+        assert "why not code-native multiway join:" in text
+        assert "neither an equi key nor a single-side code-set test" in text
+
+
 class TestRowPlanExplain:
     def test_reports_reasons_for_both_paths(self, sql):
         text = sql.explain(
@@ -91,6 +139,8 @@ class TestRowPlanExplain:
         assert "select item (1 + 1) is computed" in text
         assert "why not code-native join:" in text
         assert "query does not read exactly two tables" in text
+        assert "why not code-native multiway join:" in text
+        assert "query reads fewer than three tables" in text
 
     def test_row_path_still_records_pushdown(self, sql):
         text = sql.explain(

@@ -1,0 +1,98 @@
+"""Obs coverage of the multiway-join path.
+
+The executor counts every multiway plan choice (``sql.plan.multiway``)
+and records each join variable's intersection candidate count into the
+``sql.multiway.candidates`` histogram; the chunked engine spans the
+probe and fold phases.  These tests drive 3-table statements through the
+SQL engine and assert the metrics move exactly with plan selection.
+"""
+
+import pytest
+
+from repro import obs
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+
+ORDERS = RelationSchema("orders", [Attribute("city"), Attribute("zip")])
+ZIPS = RelationSchema("zips", [Attribute("zip"), Attribute("region")])
+REGIONS = RelationSchema("regions", [Attribute("region"), Attribute("name")])
+
+
+@pytest.fixture
+def database():
+    db = Database()
+    db.add(Relation.from_rows(ORDERS, [
+        ("edi", "EH8"), ("nyc", "10012"), ("sfo", "94107"), ("edi", "EH8")]))
+    db.add(Relation.from_rows(ZIPS, [
+        ("EH8", "uk"), ("10012", "us"), ("94107", "us")]))
+    db.add(Relation.from_rows(REGIONS, [("uk", "europe"), ("us", "america")]))
+    return db
+
+
+@pytest.fixture(autouse=True)
+def enabled_obs(obs_state):
+    obs.enable()
+
+
+QUERY = ("SELECT o.city, r.name FROM orders o, zips z, regions r "
+         "WHERE o.zip = z.zip AND z.region = r.region")
+
+
+class TestMultiwayPlanCounter:
+    def test_each_multiway_select_counts_once(self, database):
+        from repro.relational.sql.engine import SQLEngine
+
+        engine = SQLEngine(database)
+        engine.query(QUERY)
+        assert engine.last_plan == "multiway"
+        assert obs.counter("sql.plan.multiway") == 1
+        engine.query(QUERY)
+        assert obs.counter("sql.plan.multiway") == 2
+        # 2-table joins and single-table scans leave the counter alone
+        engine.query("SELECT o.city, z.region FROM orders o JOIN zips z "
+                     "ON o.zip = z.zip")
+        assert engine.last_plan == "join"
+        engine.query("SELECT city FROM orders")
+        assert engine.last_plan == "code"
+        assert obs.counter("sql.plan.multiway") == 2
+
+    def test_row_fallback_does_not_count(self, database):
+        from repro.relational.sql.engine import SQLEngine
+
+        engine = SQLEngine(database)
+        engine.query("SELECT o.city, z.region, r.name "
+                     "FROM orders o, zips z, regions r "
+                     "WHERE o.zip = z.zip")  # disconnected: cross product
+        assert engine.last_plan == "row"
+        assert obs.counter("sql.plan.multiway") == 0
+        assert obs.counter("sql.plan.row") == 1
+
+
+class TestCandidateHistogram:
+    def test_per_variable_candidate_counts_are_observed(self, database):
+        from repro.relational.sql.engine import SQLEngine
+
+        engine = SQLEngine(database)
+        engine.query(QUERY)
+        snapshot = obs.metrics()["histograms"]["sql.multiway.candidates"]
+        # one observation per join variable (zip, region)
+        assert snapshot["count"] == 2
+        assert snapshot["min"] >= 0
+        # the zip variable intersects to 3 codes, region to 2
+        assert snapshot["total"] == 5
+
+    def test_chunked_engine_spans_probe_and_fold(self, database, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_THRESHOLD", "0")
+        from repro.relational.sql.engine import SQLEngine
+
+        engine = SQLEngine(database, engine="serial")
+        engine.query("SELECT r.name, COUNT(*) AS n "
+                     "FROM orders o, zips z, regions r "
+                     "WHERE o.zip = z.zip AND z.region = r.region "
+                     "GROUP BY r.name")
+        assert engine.last_plan == "multiway"
+        assert obs.counter("engine.multijoin.runs") == 1
+        histograms = obs.metrics()["histograms"]
+        assert histograms["span.sql.multiway.probe"]["count"] == 1
+        assert histograms["span.sql.multiway.fold"]["count"] == 1

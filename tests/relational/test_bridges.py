@@ -106,6 +106,82 @@ class TestStaleness:
         assert bridge.translation[left.code_of("b")] == right.code_of("b")
 
 
+class TestComposition:
+    def test_composed_bridge_chains_two_hops(self):
+        a = column_from(["x", "y", "z"])
+        b = column_from(["y", "z", "x"])
+        c = column_from(["z", "x", "w"])
+        composed = a.bridge_to(b).compose(b.bridge_to(c))
+        assert composed.source is a and composed.target is c
+        assert composed.translation[NULL_CODE] == NULL_CODE
+        for value in ("x", "z"):
+            assert composed.translation[a.code_of(value)] == c.code_of(value)
+        # "y" survives the first hop but has no partner in c
+        assert composed.translation[a.code_of("y")] == NO_PARTNER
+
+    def test_no_partner_propagates_without_negative_indexing(self):
+        # "q" is missing from the *intermediate* dictionary: the first hop
+        # yields NO_PARTNER (-1), which must propagate — not index the
+        # second hop's translation from the end
+        a = column_from(["x", "q"])
+        b = column_from(["x"])
+        c = column_from(["x", "q"])
+        composed = a.bridge_to(b).compose(b.bridge_to(c))
+        assert composed.translation[a.code_of("q")] == NO_PARTNER
+        assert composed.translation[a.code_of("x")] == c.code_of("x")
+
+    def test_three_hop_chain_composes_left_to_right(self):
+        a, b = column_from(["v", "u"]), column_from(["u", "v"])
+        c, d = column_from(["v", "u", "t"]), column_from(["u", "t", "v"])
+        composed = a.bridge_to(b).compose(b.bridge_to(c)).compose(c.bridge_to(d))
+        assert len(composed.hops) == 3
+        assert composed.source is a and composed.target is d
+        for value in ("v", "u"):
+            assert composed.translation[a.code_of(value)] == d.code_of(value)
+
+    def test_mismatched_hops_are_rejected(self):
+        a, b, c = column_from(["x"]), column_from(["x"]), column_from(["x"])
+        with pytest.raises(ValueError):
+            a.bridge_to(b).compose(a.bridge_to(c))  # b is not a's target... chain breaks
+
+    def test_intermediate_growth_marks_the_chain_stale(self):
+        a = column_from(["x", "y"])
+        b = column_from(["x"])
+        c = column_from(["x", "y"])
+        composed = a.bridge_to(b).compose(b.bridge_to(c))
+        assert composed.translation[a.code_of("y")] == NO_PARTNER
+        b.intern("y")  # only the *middle* dictionary grows
+        assert composed.is_stale()
+        composed.ensure_fresh()
+        assert not composed.is_stale()
+        assert composed.translation[a.code_of("y")] == c.code_of("y")
+
+    def test_endpoint_growth_marks_the_chain_stale(self):
+        a = column_from(["x"])
+        b = column_from(["x", "y"])
+        c = column_from(["x", "y"])
+        composed = a.bridge_to(b).compose(b.bridge_to(c))
+        assert not composed.is_stale()
+        a.intern("y")
+        assert composed.is_stale()
+        composed.ensure_fresh()
+        assert composed.translation[a.code_of("y")] == c.code_of("y")
+        c.intern("z")  # target-side growth also invalidates
+        assert composed.is_stale()
+
+    def test_translation_list_identity_survives_rebuilds(self):
+        # in-place rebuild: broadcast state holding the list sees updates
+        a = column_from(["x", "y"])
+        b = column_from(["x", "y"])
+        c = column_from(["x"])
+        composed = a.bridge_to(b).compose(b.bridge_to(c))
+        translation = composed.translation
+        c.intern("y")
+        composed.ensure_fresh()
+        assert composed.translation is translation
+        assert translation[a.code_of("y")] == c.code_of("y")
+
+
 JOIN_SCHEMAS = (
     RelationSchema("orders", [Attribute("zip", AttributeType.STRING),
                               Attribute("amount", AttributeType.INTEGER)]),
