@@ -36,7 +36,9 @@ class BatchCFDDetector:
 
     def __init__(self, relation: Relation, cfds: Sequence[CFD],
                  use_columns: bool = True,
-                 engine: str | None = None, workers: int | None = None) -> None:
+                 engine: str | None = None, workers: int | None = None,
+                 task_timeout: float | None = None,
+                 task_retries: int | None = None) -> None:
         for cfd in cfds:
             cfd.validate_against(relation)
         self._relation = relation
@@ -45,7 +47,9 @@ class BatchCFDDetector:
         self._use_columns = use_columns
         self._engine_name = engine
         self._workers = workers
-        self._pool = resolve_pool(engine, workers) if use_columns else None
+        self._pool = (resolve_pool(engine, workers, task_timeout=task_timeout,
+                                   task_retries=task_retries)
+                      if use_columns else None)
         self._chunked: "ChunkedCFDEngine | None" = None
 
     @property

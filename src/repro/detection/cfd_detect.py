@@ -54,7 +54,9 @@ class CFDDetector:
 
     def __init__(self, relation: Relation, cfds: Sequence[CFD],
                  enumerate_pairs: bool = False, use_columns: bool = True,
-                 engine: str | None = None, workers: int | None = None) -> None:
+                 engine: str | None = None, workers: int | None = None,
+                 task_timeout: float | None = None,
+                 task_retries: int | None = None) -> None:
         for cfd in cfds:
             cfd.validate_against(relation)
         self._relation = relation
@@ -63,7 +65,9 @@ class CFDDetector:
         self._use_columns = use_columns
         self._indexes: dict[tuple[str, ...], HashIndex] = {}
         # the chunked engine only exists for the columnar representation
-        self._pool = resolve_pool(engine, workers) if use_columns else None
+        self._pool = (resolve_pool(engine, workers, task_timeout=task_timeout,
+                                   task_retries=task_retries)
+                      if use_columns else None)
         self._chunked: "ChunkedCFDEngine | None" = None
 
     # -- public ----------------------------------------------------------------

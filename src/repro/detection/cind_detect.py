@@ -46,14 +46,18 @@ class CINDDetector:
 
     def __init__(self, database: Database, cinds: Sequence[CIND],
                  use_columns: bool = True,
-                 engine: str | None = None, workers: int | None = None) -> None:
+                 engine: str | None = None, workers: int | None = None,
+                 task_timeout: float | None = None,
+                 task_retries: int | None = None) -> None:
         for cind in cinds:
             cind.validate_against(database)
         self._database = database
         self._cinds = list(cinds)
         self._use_columns = use_columns
         # the chunked engine only exists for the columnar representation
-        self._pool = resolve_pool(engine, workers) if use_columns else None
+        self._pool = (resolve_pool(engine, workers, task_timeout=task_timeout,
+                                   task_retries=task_retries)
+                      if use_columns else None)
         self._chunked: "ChunkedCINDEngine | None" = None
 
     def detect(self) -> ViolationReport:

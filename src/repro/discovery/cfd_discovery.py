@@ -48,7 +48,9 @@ class CFDDiscovery:
 
     def __init__(self, relation: Relation, min_support: int = 3,
                  max_lhs_size: int = 2, use_columns: bool = True,
-                 engine: str | None = None, workers: int | None = None) -> None:
+                 engine: str | None = None, workers: int | None = None,
+                 task_timeout: float | None = None,
+                 task_retries: int | None = None) -> None:
         if min_support < 1:
             raise DiscoveryError("min_support must be at least 1")
         if max_lhs_size < 1:
@@ -59,7 +61,9 @@ class CFDDiscovery:
         self._attributes = [a.lower() for a in relation.schema.attribute_names]
         self._use_columns = use_columns
         self._provider = PartitionProvider(relation, use_columns=use_columns,
-                                           engine=engine, workers=workers)
+                                           engine=engine, workers=workers,
+                                           task_timeout=task_timeout,
+                                           task_retries=task_retries)
         # columnar path: conditioning groups per attribute, computed once
         # per relation version (refinement retries every failed FD whose
         # LHS contains the attribute against the same groups)

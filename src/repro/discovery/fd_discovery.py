@@ -38,7 +38,9 @@ class FDDiscovery:
 
     def __init__(self, relation: Relation, max_lhs_size: int = 3,
                  approximate_error: float = 0.0, use_columns: bool = True,
-                 engine: str | None = None, workers: int | None = None) -> None:
+                 engine: str | None = None, workers: int | None = None,
+                 task_timeout: float | None = None,
+                 task_retries: int | None = None) -> None:
         if max_lhs_size < 1:
             raise DiscoveryError("max_lhs_size must be at least 1")
         if not 0.0 <= approximate_error < 1.0:
@@ -48,7 +50,9 @@ class FDDiscovery:
         self._max_lhs_size = min(max_lhs_size, len(self._attributes) - 1)
         self._approximate_error = approximate_error
         self._provider = PartitionProvider(relation, use_columns=use_columns,
-                                           engine=engine, workers=workers)
+                                           engine=engine, workers=workers,
+                                           task_timeout=task_timeout,
+                                           task_retries=task_retries)
 
     # -- partitions --------------------------------------------------------------
 

@@ -230,7 +230,9 @@ class PartitionProvider:
     """
 
     def __init__(self, relation: Relation, use_columns: bool = True,
-                 engine: str | None = None, workers: int | None = None) -> None:
+                 engine: str | None = None, workers: int | None = None,
+                 task_timeout: float | None = None,
+                 task_retries: int | None = None) -> None:
         self._relation = relation
         self._use_columns = use_columns
         self._chunked: "ChunkedPartitionEngine | None" = None
@@ -238,7 +240,8 @@ class PartitionProvider:
             self._cache = partition_cache(relation)
             from repro.engine.executor import resolve_pool
 
-            pool = resolve_pool(engine, workers)
+            pool = resolve_pool(engine, workers, task_timeout=task_timeout,
+                                task_retries=task_retries)
             if pool is not None:
                 from repro.engine.discover import ChunkedPartitionEngine
 

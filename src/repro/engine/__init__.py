@@ -19,6 +19,17 @@ Detectors accept ``engine=`` (``"sequential"``, ``"serial"``,
 ``REPRO_WORKERS`` and ``REPRO_PARALLEL_THRESHOLD`` environment variables
 supply process-wide defaults (that is how CI forces the whole tier-1
 suite through the chunked path).
+
+The parallel backend is **supervised**: every task runs inside a
+worker-side envelope that returns success or a picklable failure, a
+per-task timeout (``REPRO_TASK_TIMEOUT``) bounds hung workers, failed
+tasks are retried up to ``REPRO_TASK_RETRIES`` times (crashes and
+timeouts rebuild the pool, re-broadcasting state), and tasks failing
+every retry degrade to in-process execution — so worker death, hangs and
+transient in-worker exceptions slow a run down but never change its
+results or leak a raw ``multiprocessing`` exception.  ``REPRO_FAULTS``
+injects seeded raise/crash/hang faults into the dispatch path for chaos
+testing (see :mod:`repro.engine.worker`).
 """
 
 from repro.engine.chunker import Chunk, Chunker
@@ -35,6 +46,13 @@ from repro.engine.executor import (
     shutdown_pools,
 )
 from repro.engine.merge import GroupMerger
+from repro.engine.worker import (
+    FaultInjector,
+    ScriptedFaults,
+    TaskFailure,
+    clear_faults,
+    install_faults,
+)
 
 __all__ = [
     "Chunk",
@@ -45,10 +63,15 @@ __all__ = [
     "ChunkedPartitionEngine",
     "ENGINES",
     "ExecutorPool",
+    "FaultInjector",
     "GroupMerger",
     "MultiprocessingPool",
+    "ScriptedFaults",
     "SerialPool",
     "StateHandle",
+    "TaskFailure",
+    "clear_faults",
+    "install_faults",
     "resolve_pool",
     "shutdown_pools",
 ]

@@ -18,6 +18,11 @@ phases:
 Violations are materialised in the parent, in exactly the order the
 sequential detectors emit them — the chunk-parity tests assert the
 reports are byte-identical for every chunk size and worker count.
+
+On the parallel backend every fan-out here runs supervised (see
+:mod:`repro.engine.executor`): per-task timeouts, retries and the
+in-process fallback guarantee these results even when worker
+processes raise, hang or die mid-run.
 """
 
 from __future__ import annotations

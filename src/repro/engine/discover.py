@@ -17,6 +17,11 @@ relation, shipped once per relation version: a levelwise lattice walk
 requests partitions for many attribute sets, and each request is just a
 tuple of schema positions riding in the task payload — no per-attribute-
 set re-broadcast, no re-fork.
+
+On the parallel backend every fan-out here runs supervised (see
+:mod:`repro.engine.executor`): per-task timeouts, retries and the
+in-process fallback guarantee these results even when worker
+processes raise, hang or die mid-run.
 """
 
 from __future__ import annotations

@@ -27,6 +27,11 @@ task payload instead: like the CIND engine's RHS key sets, they are
 query-scoped and usually far smaller than the relations, and keeping them
 out of the broadcast state means steady-state joins over unchanged
 relations never re-fork the pool.
+
+On the parallel backend every fan-out here runs supervised (see
+:mod:`repro.engine.executor`): per-task timeouts, retries and the
+in-process fallback guarantee these results even when worker
+processes raise, hang or die mid-run.
 """
 
 from __future__ import annotations

@@ -23,6 +23,11 @@ The broadcast state holds *all* participating relations' code arrays
 re-tokenises the handle).  Level groups, bridge translations and the
 candidate slices ride in the task payloads: they are query-scoped, like
 hash-join buckets.
+
+On the parallel backend every fan-out here runs supervised (see
+:mod:`repro.engine.executor`): per-task timeouts, retries and the
+in-process fallback guarantee these results even when worker
+processes raise, hang or die mid-run.
 """
 
 from __future__ import annotations

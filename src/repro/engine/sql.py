@@ -25,6 +25,11 @@ shipped once per relation version; all query-specific inputs (filters,
 group positions, aggregate specs) ride in the task payloads, so running
 many different queries against an unchanged relation costs no re-broadcast
 and no re-fork.
+
+On the parallel backend every fan-out here runs supervised (see
+:mod:`repro.engine.executor`): per-task timeouts, retries and the
+in-process fallback guarantee these results even when worker
+processes raise, hang or die mid-run.
 """
 
 from __future__ import annotations

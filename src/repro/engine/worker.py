@@ -16,10 +16,23 @@ Correctness contract: every handler replicates its sequential twin
 ``set`` with the same insertion history the sequential
 :class:`~repro.relational.index.HashIndex` would have) so that the merged
 output is byte-identical to the sequential columnar path.
+
+Supervision contract: the pool dispatch target is
+:func:`dispatch_supervised`, which wraps every task in a structured
+envelope — ``("ok", seconds, result)`` on success, ``("err", seconds,
+TaskFailure)`` when the handler raised — so an in-worker exception
+travels back as plain picklable data instead of poisoning the pool.  The
+same dispatch path hosts the seeded fault-injection hook (``REPRO_FAULTS``
+or :func:`install_faults`) used by the chaos tests: injected faults only
+ever fire here, never in :func:`run_local` / :func:`run_local_timed`,
+which is what makes the executor's in-process fallback a safe harbour.
 """
 
 from __future__ import annotations
 
+import os
+import random
+import time
 from bisect import bisect_left
 from itertools import product
 from time import perf_counter
@@ -32,9 +45,186 @@ _STATE: dict[str, Any] | None = None
 
 
 def initialize(state: dict[str, Any]) -> None:
-    """Pool initializer: install the broadcast state in this process."""
+    """Pool initializer: install the broadcast state in this process.
+
+    Also runs in workers the pool spawns to replace crashed ones, so a
+    repopulated worker holds the current broadcast generation — and a
+    fresh per-pid fault stream — without any parent-side bookkeeping.
+    """
     global _STATE
     _STATE = state
+    if _FAULTS_SOURCE != "manual":
+        install_env_faults()
+    elif _FAULTS is not None:
+        _FAULTS.reset()
+
+
+# -- supervision envelope ----------------------------------------------------
+
+
+class TaskFailure:
+    """Picklable record of one task attempt that failed inside a worker.
+
+    Carried back through the ``("err", seconds, failure)`` envelope (or
+    synthesised parent-side for crashes and timeouts, where no worker is
+    left to report).  ``kind`` is one of ``"error"`` (the handler
+    raised), ``"crash"`` (the worker process died) or ``"timeout"``.
+    """
+
+    def __init__(self, task: str, kind: str, message: str) -> None:
+        self.task = task
+        self.kind = kind
+        self.message = message
+
+    def __repr__(self) -> str:
+        return f"TaskFailure({self.task!r}, {self.kind!r}, {self.message!r})"
+
+
+def payload_summary(task: tuple[str, Any]) -> str:
+    """Compact, code-free description of a task for error messages.
+
+    Container payload parts collapse to ``type[len]`` so a failure over a
+    4096-tid chunk never drags the chunk itself into an exception chain.
+    """
+    name, payload = task
+    parts = payload if isinstance(payload, tuple) else (payload,)
+    rendered = []
+    for part in parts:
+        if isinstance(part, str):
+            rendered.append(part)
+        elif isinstance(part, (list, tuple, set, frozenset, dict)):
+            rendered.append(f"{type(part).__name__}[{len(part)}]")
+        else:
+            rendered.append(type(part).__name__)
+    return f"{name}({', '.join(rendered)})"
+
+
+def dispatch_supervised(task: tuple[str, Any]) -> tuple[str, float, Any]:
+    """Supervised pool dispatch target: never lets an exception escape.
+
+    Returns ``("ok", worker seconds, result)`` or ``("err", worker
+    seconds, TaskFailure)``.  ``KeyboardInterrupt``/``SystemExit`` still
+    propagate (pool teardown must win over supervision), and injected
+    ``crash``/``hang`` faults act *before* the envelope — by design, they
+    simulate failures the envelope cannot catch.
+    """
+    name, payload = task
+    fault = _FAULTS.draw(name) if _FAULTS is not None else None
+    start = perf_counter()
+    try:
+        if fault is not None:
+            _apply_fault(fault, name)
+        result = _HANDLERS[name](_STATE, payload)
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except BaseException as exc:
+        return ("err", perf_counter() - start,
+                TaskFailure(name, "error", f"{type(exc).__name__}: {exc}"))
+    return ("ok", perf_counter() - start, result)
+
+
+# -- fault injection ---------------------------------------------------------
+
+#: how long an injected hang sleeps; the supervising parent's per-task
+#: timeout (and the pool rebuild that follows) is what actually ends it.
+HANG_SECONDS = 3600.0
+
+#: exit code of injected crashes (looks like an abrupt kill to the pool).
+CRASH_EXIT_CODE = 113
+
+
+class InjectedFault(RuntimeError):
+    """The transient exception raised by an injected ``raise`` fault."""
+
+
+class FaultInjector:
+    """Seeded random fault plan: at most one fault kind per dispatch.
+
+    Each worker process draws from its own ``random.Random`` stream
+    derived from ``(seed, pid)``, so a fixed seed gives a reproducible
+    fault schedule per worker while fork-inherited copies still diverge.
+    """
+
+    def __init__(self, rates: dict[str, float], seed: int = 0) -> None:
+        self.rates = dict(rates)
+        self.seed = seed
+        self._random: random.Random | None = None
+
+    def reset(self) -> None:
+        """Drop the stream so the next draw reseeds from the current pid."""
+        self._random = None
+
+    def draw(self, task_name: str) -> str | None:
+        stream = self._random
+        if stream is None:
+            stream = self._random = random.Random(f"{self.seed}:{os.getpid()}")
+        for kind in ("crash", "hang", "raise"):
+            rate = self.rates.get(kind, 0.0)
+            if rate and stream.random() < rate:
+                return kind
+        return None
+
+
+class ScriptedFaults:
+    """Programmatic injector for tests: a per-process script of fault kinds.
+
+    Each dispatch consumes the next entry (``None`` = run cleanly); an
+    exhausted script injects nothing.  Install before the pool forks so
+    every worker inherits its own copy of the script.
+    """
+
+    def __init__(self, kinds: list[str | None]) -> None:
+        self._kinds = list(kinds)
+
+    def reset(self) -> None:
+        return None
+
+    def draw(self, task_name: str) -> str | None:
+        if self._kinds:
+            return self._kinds.pop(0)
+        return None
+
+
+_FAULTS: Any = None
+_FAULTS_SOURCE: str | None = None
+
+
+def install_faults(injector: Any) -> None:
+    """Install a programmatic fault injector (survives pool re-forks)."""
+    global _FAULTS, _FAULTS_SOURCE
+    _FAULTS = injector
+    _FAULTS_SOURCE = "manual"
+
+
+def clear_faults() -> None:
+    """Remove any installed fault injector (programmatic or env-derived)."""
+    global _FAULTS, _FAULTS_SOURCE
+    _FAULTS = None
+    _FAULTS_SOURCE = None
+
+
+def install_env_faults() -> None:
+    """(Re)build the injector from ``REPRO_FAULTS`` / ``REPRO_FAULTS_SEED``."""
+    global _FAULTS, _FAULTS_SOURCE
+    from repro import config
+
+    rates = config.faults_default()
+    if rates:
+        _FAULTS = FaultInjector(rates, seed=config.faults_seed_default())
+        _FAULTS_SOURCE = "env"
+    else:
+        _FAULTS = None
+        _FAULTS_SOURCE = None
+
+
+def _apply_fault(kind: str, task_name: str) -> None:
+    if kind == "crash":
+        # simulate an OOM kill: no cleanup, no exception, no envelope
+        os._exit(CRASH_EXIT_CODE)
+    if kind == "hang":
+        time.sleep(HANG_SECONDS)
+        return
+    raise InjectedFault(f"injected fault in task {task_name!r}")
 
 
 def dispatch(task: tuple[str, Any]) -> Any:

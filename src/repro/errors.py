@@ -40,6 +40,38 @@ class SQLExecutionError(ReproError):
     """A parsed SQL statement could not be executed."""
 
 
+class EngineError(ReproError):
+    """The chunked execution engine failed to produce a coherent result.
+
+    Raised by the parent side of :mod:`repro.engine` — a task/result
+    count mismatch while merging, or (with the serial fallback disabled)
+    a task that kept failing after every retry.  The subclasses carry the
+    structured failure context of one supervised task.
+    """
+
+    def __init__(self, message: str, task: str | None = None,
+                 payload_summary: str | None = None, attempts: int = 0) -> None:
+        super().__init__(message)
+        #: worker handler name of the failing task (``None`` for merge errors).
+        self.task = task
+        #: compact, code-free description of the task's chunk payload.
+        self.payload_summary = payload_summary
+        #: how many times the task was attempted before giving up.
+        self.attempts = attempts
+
+
+class WorkerCrashError(EngineError):
+    """A worker process died (or kept failing) while running a task.
+
+    Covers hard exits (OOM kills, ``os._exit``), broken pool pipes and
+    tasks whose in-worker exception survived every retry.
+    """
+
+
+class TaskTimeoutError(EngineError):
+    """A supervised task exceeded the per-task timeout (hung worker)."""
+
+
 class ConstraintError(ReproError):
     """A constraint definition is malformed."""
 

@@ -25,8 +25,13 @@ programmatically (the CLI does this for ``--stats``/``--explain`` runs).
 
 Metric names are dotted, lowest-level last: ``<layer>.<object>.<event>``
 (``engine.pool.reuse``, ``cache.bridge.rebuilt``, ``sql.plan.code``,
-``repair.passes``).  Histograms observe seconds (``engine.task.*``,
-``span.*``) or sizes (``engine.sql.chunks``).  The Prometheus rendering
+``repair.passes``).  The supervised parallel engine contributes the
+fault-tolerance family: ``engine.task.retry``, ``engine.task.timeout``,
+``engine.task.failure.{error,crash,timeout}``, ``engine.pool.rebuild``,
+``engine.pool.stop_error``, ``engine.fallback.serial`` and
+``engine.fallback.tasks`` (see :mod:`repro.engine.executor`).
+Histograms observe seconds (``engine.task.*``, ``span.*``) or sizes
+(``engine.sql.chunks``).  The Prometheus rendering
 in :meth:`MetricsRegistry.render_prometheus` maps dots to underscores and
 prefixes ``repro_``, so ``cache.partition.hit`` becomes
 ``repro_cache_partition_hit_total``.

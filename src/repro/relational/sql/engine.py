@@ -31,14 +31,17 @@ class SQLEngine:
 
     def __init__(self, database: Database, engine: str | None = None,
                  workers: int | None = None, use_columns: bool = True,
-                 fds: Any = None) -> None:
+                 fds: Any = None, task_timeout: float | None = None,
+                 task_retries: int | None = None) -> None:
         from repro.engine.executor import resolve_pool
 
         self._database = database
         # fds are variable-ordering hints for multiway joins; they never
         # change results, only the order join variables are bound in.
         self._executor = SQLExecutor(database, use_columns=use_columns,
-                                     pool=resolve_pool(engine, workers),
+                                     pool=resolve_pool(engine, workers,
+                                                       task_timeout=task_timeout,
+                                                       task_retries=task_retries),
                                      fds=fds)
 
     @property

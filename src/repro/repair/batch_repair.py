@@ -145,7 +145,9 @@ class BatchRepair:
                  ordering: str = "largest_first",
                  max_passes: int = 25,
                  use_columns: bool = True,
-                 engine: str | None = None, workers: int | None = None) -> None:
+                 engine: str | None = None, workers: int | None = None,
+                 task_timeout: float | None = None,
+                 task_retries: int | None = None) -> None:
         if ordering not in self.ORDERINGS:
             raise RepairError(f"unknown ordering {ordering!r}; known: {self.ORDERINGS}")
         for cfd in cfds:
@@ -158,6 +160,8 @@ class BatchRepair:
         self._use_columns = use_columns
         self._engine_name = engine
         self._workers = workers
+        self._task_timeout = task_timeout
+        self._task_retries = task_retries
         self._fresh_counter = itertools.count()
 
     # -- public ----------------------------------------------------------------
@@ -167,7 +171,9 @@ class BatchRepair:
         working = self._original.copy()
         detector = BatchCFDDetector(working, self._cfds,
                                     use_columns=self._use_columns,
-                                    engine=self._engine_name, workers=self._workers)
+                                    engine=self._engine_name, workers=self._workers,
+                                    task_timeout=self._task_timeout,
+                                    task_retries=self._task_retries)
         plans: dict[tuple[CFD, PatternTuple], RepairPlan] = {}
         passes = 0
         converged = False

@@ -6,6 +6,7 @@ Usage::
         [--discover] [--min-support N] [--max-lhs-size N] [--sql QUERY]
         [--explain] [--stats OUT.json]
         [--engine {sequential,serial,parallel}] [--workers N]
+        [--task-timeout SECONDS] [--task-retries N]
 
 ``DATA.csv`` is loaded as a relation named after the file; ``CONSTRAINTS.txt``
 contains one CFD per line in the textual syntax of
@@ -25,6 +26,11 @@ scans through the chunked execution engine (:mod:`repro.engine`);
 reports, discovered CFDs, repairs and query results are identical, only
 execution changes.  The ``REPRO_ENGINE`` / ``REPRO_WORKERS`` environment
 variables provide the same defaults process-wide.
+``--task-timeout`` / ``--task-retries`` tune the parallel engine's
+supervision: how long one dispatched task may run before the worker is
+declared hung and the pool rebuilt, and how often a failed task is
+retried before degrading to in-process execution (environment defaults:
+``REPRO_TASK_TIMEOUT`` / ``REPRO_TASK_RETRIES``).
 """
 
 from __future__ import annotations
@@ -81,6 +87,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for the parallel engine "
                              "(default: the CPU count; implies --engine parallel "
                              "when N > 1)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-task supervision timeout of the parallel "
+                             "engine; a task running longer is declared hung, "
+                             "the worker pool is rebuilt and the task retried "
+                             "(0 disables; default: REPRO_TASK_TIMEOUT or 300)")
+    parser.add_argument("--task-retries", type=int, default=None, metavar="N",
+                        help="how many times a failed or timed-out task is "
+                             "re-dispatched before running in-process "
+                             "(default: REPRO_TASK_RETRIES or 2)")
     return parser
 
 
@@ -102,7 +118,9 @@ def main(argv: list[str] | None = None) -> int:
     relation = read_csv(data_path, relation_name)
 
     session = SemandaqSession(relation, engine=arguments.engine,
-                              workers=arguments.workers)
+                              workers=arguments.workers,
+                              task_timeout=arguments.task_timeout,
+                              task_retries=arguments.task_retries)
 
     if arguments.sql is not None:
         if arguments.explain:

@@ -55,16 +55,26 @@ class SemandaqSession:
     Without them everything behaves as before
     (the ``REPRO_ENGINE`` environment variable still reaches the
     underlying detectors and repairs as a process-wide default).
+
+    ``task_timeout=``/``task_retries=`` tune the parallel engine's
+    supervision (per-task timeout in seconds and retry budget; see
+    :mod:`repro.engine`); they default to the ``REPRO_TASK_TIMEOUT`` /
+    ``REPRO_TASK_RETRIES`` environment variables and are ignored by the
+    serial and sequential paths.
     """
 
     def __init__(self, database: Database | Relation,
-                 engine: str | None = None, workers: int | None = None) -> None:
+                 engine: str | None = None, workers: int | None = None,
+                 task_timeout: float | None = None,
+                 task_retries: int | None = None) -> None:
         if isinstance(database, Relation):
             wrapped = Database()
             wrapped.add(database)
             database = wrapped
         self._engine = engine
         self._workers = workers
+        self._task_timeout = task_timeout
+        self._task_retries = task_retries
         self._database = database
         # detector caches (so engine plans and worker pools survive across
         # detect() calls); invalidated when constraints are registered.
@@ -151,7 +161,9 @@ class SemandaqSession:
             if self._cind_detector is None:
                 self._cind_detector = CINDDetector(self._database, self._cinds,
                                                    engine=self._engine,
-                                                   workers=self._workers)
+                                                   workers=self._workers,
+                                                   task_timeout=self._task_timeout,
+                                                   task_retries=self._task_retries)
             reports.append(self._cind_detector.detect())
         merged = reports[0]
         for report in reports[1:]:
@@ -174,7 +186,9 @@ class SemandaqSession:
                                 if c.relation_name.lower() == key]
                     self._cfd_detectors[key] = CFDDetector(
                         self._database.relation(cfd.relation_name), relevant,
-                        engine=self._engine, workers=self._workers)
+                        engine=self._engine, workers=self._workers,
+                        task_timeout=self._task_timeout,
+                        task_retries=self._task_retries)
         for cfd in self._cfds:
             detector = self._cfd_detectors[cfd.relation_name.lower()]
             report.extend(detector.detect_one(cfd))
@@ -207,7 +221,9 @@ class SemandaqSession:
             # hints for multiway joins — ordering never changes results
             hints = [cfd.embedded_fd for cfd in self._cfds if cfd.is_variable()]
             self._sql_engine = SQLEngine(self._database, engine=self._engine,
-                                         workers=self._workers, fds=hints)
+                                         workers=self._workers, fds=hints,
+                                         task_timeout=self._task_timeout,
+                                         task_retries=self._task_retries)
         result = self._sql_engine.query(query, result_name=result_name,
                                         explain=explain)
         if not explain:
@@ -232,7 +248,9 @@ class SemandaqSession:
         relation = self._resolve_relation(relation_name)
         discovery = CFDDiscovery(relation, min_support=min_support,
                                  max_lhs_size=max_lhs_size,
-                                 engine=self._engine, workers=self._workers)
+                                 engine=self._engine, workers=self._workers,
+                                 task_timeout=self._task_timeout,
+                                 task_retries=self._task_retries)
         discovered = (discovery.discover_constant_cfds() if constant_only
                       else discovery.discover())
         if register:
@@ -249,7 +267,9 @@ class SemandaqSession:
         if not cfds:
             raise ReproError(f"no CFDs registered for relation {relation.name!r}")
         repair = BatchRepair(relation, cfds, cost_model=self._cost_model,
-                             engine=self._engine, workers=self._workers).repair()
+                             engine=self._engine, workers=self._workers,
+                             task_timeout=self._task_timeout,
+                             task_retries=self._task_retries).repair()
         self._last_repair[relation.name.lower()] = repair
         return repair
 

@@ -7,9 +7,15 @@ from repro.config import (
     ConfigError,
     env_choice,
     env_flag,
+    env_float,
     env_int,
 )
-from repro.engine.executor import resolve_pool
+from repro.engine.executor import (
+    DEFAULT_TASK_RETRIES,
+    DEFAULT_TASK_TIMEOUT,
+    MultiprocessingPool,
+    resolve_pool,
+)
 from repro.errors import ReproError
 
 
@@ -55,6 +61,106 @@ class TestEnvInt:
         monkeypatch.setenv("REPRO_WORKERS", "0")
         with pytest.raises(ConfigError, match="at least 1"):
             env_int("REPRO_WORKERS", minimum=1)
+
+
+class TestEnvFloat:
+    def test_unset_and_empty_are_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TASK_TIMEOUT", raising=False)
+        assert env_float("REPRO_TASK_TIMEOUT") is None
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "  ")
+        assert env_float("REPRO_TASK_TIMEOUT") is None
+
+    def test_parses_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", " 2.5 ")
+        assert env_float("REPRO_TASK_TIMEOUT") == 2.5
+
+    def test_malformed_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "soon")
+        with pytest.raises(ConfigError, match="not a number"):
+            env_float("REPRO_TASK_TIMEOUT")
+
+    def test_minimum_enforced(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "-1")
+        with pytest.raises(ConfigError, match="at least 0"):
+            env_float("REPRO_TASK_TIMEOUT", minimum=0.0)
+
+
+class TestFaultsParsing:
+    def test_unset_is_empty(self, monkeypatch):
+        monkeypatch.delenv(config.FAULTS_ENV, raising=False)
+        assert config.faults_default() == {}
+
+    def test_parses_kind_rate_pairs(self, monkeypatch):
+        monkeypatch.setenv(config.FAULTS_ENV, "raise:0.1, crash:0.05,hang:1")
+        assert config.faults_default() == \
+            {"raise": 0.1, "crash": 0.05, "hang": 1.0}
+
+    def test_unknown_kind_raises(self, monkeypatch):
+        monkeypatch.setenv(config.FAULTS_ENV, "explode:0.1")
+        with pytest.raises(ConfigError, match="raise, crash, hang"):
+            config.faults_default()
+
+    def test_missing_rate_raises(self, monkeypatch):
+        monkeypatch.setenv(config.FAULTS_ENV, "raise")
+        with pytest.raises(ConfigError, match="kind:rate"):
+            config.faults_default()
+
+    def test_non_numeric_rate_raises(self, monkeypatch):
+        monkeypatch.setenv(config.FAULTS_ENV, "raise:often")
+        with pytest.raises(ConfigError, match="not a number"):
+            config.faults_default()
+
+    def test_out_of_range_rate_raises(self, monkeypatch):
+        monkeypatch.setenv(config.FAULTS_ENV, "crash:1.5")
+        with pytest.raises(ConfigError, match="probability"):
+            config.faults_default()
+
+    def test_seed_defaults_to_zero(self, monkeypatch):
+        monkeypatch.delenv(config.FAULTS_SEED_ENV, raising=False)
+        assert config.faults_seed_default() == 0
+        monkeypatch.setenv(config.FAULTS_SEED_ENV, "42")
+        assert config.faults_seed_default() == 42
+
+
+class TestSupervisionKnobs:
+    def test_pool_reads_env_defaults(self, monkeypatch):
+        monkeypatch.setenv(config.TASK_TIMEOUT_ENV, "2.5")
+        monkeypatch.setenv(config.TASK_RETRIES_ENV, "5")
+        pool = MultiprocessingPool(workers=2)
+        assert pool.task_timeout == 2.5
+        assert pool.task_retries == 5
+
+    def test_zero_timeout_means_unbounded(self, monkeypatch):
+        monkeypatch.delenv(config.TASK_RETRIES_ENV, raising=False)
+        monkeypatch.setenv(config.TASK_TIMEOUT_ENV, "0")
+        assert MultiprocessingPool(workers=2).task_timeout is None
+
+    def test_explicit_knobs_beat_env(self, monkeypatch):
+        monkeypatch.setenv(config.TASK_TIMEOUT_ENV, "2.5")
+        monkeypatch.setenv(config.TASK_RETRIES_ENV, "5")
+        pool = MultiprocessingPool(workers=2, task_timeout=9.0, task_retries=1)
+        assert pool.task_timeout == 9.0
+        assert pool.task_retries == 1
+
+    def test_module_defaults_apply_when_unset(self, monkeypatch):
+        monkeypatch.delenv(config.TASK_TIMEOUT_ENV, raising=False)
+        monkeypatch.delenv(config.TASK_RETRIES_ENV, raising=False)
+        pool = MultiprocessingPool(workers=2)
+        assert pool.task_timeout == DEFAULT_TASK_TIMEOUT
+        assert pool.task_retries == DEFAULT_TASK_RETRIES
+
+    def test_fallback_flag_reaches_the_pool(self, monkeypatch):
+        monkeypatch.delenv(config.TASK_TIMEOUT_ENV, raising=False)
+        monkeypatch.delenv(config.TASK_RETRIES_ENV, raising=False)
+        monkeypatch.setenv(config.TASK_FALLBACK_ENV, "0")
+        assert MultiprocessingPool(workers=2).serial_fallback is False
+        monkeypatch.delenv(config.TASK_FALLBACK_ENV)
+        assert MultiprocessingPool(workers=2).serial_fallback is True
+
+    def test_malformed_timeout_raises(self, monkeypatch):
+        monkeypatch.setenv(config.TASK_TIMEOUT_ENV, "forever")
+        with pytest.raises(ConfigError, match=config.TASK_TIMEOUT_ENV):
+            MultiprocessingPool(workers=2)
 
 
 class TestEnvChoice:
