@@ -97,7 +97,7 @@ class ChunkedJoinEngine:
 
     # -- execution ---------------------------------------------------------
 
-    def _run(self, query: dict[str, Any]):
+    def _run(self, query: dict[str, Any], handler: str = "join_probe"):
         probe = self._relations[query["probe_side"]]
         rows = len(probe)
         chunks = Chunker(probe, **self._pool.chunk_plan(rows)).chunks()
@@ -108,7 +108,7 @@ class ChunkedJoinEngine:
             obs.observe("engine.join.chunks", len(chunks))
         handle = self._ensure_handle()
         tasks: list[tuple[str, Any]] = [
-            ("join_probe", (JOIN_SPEC, query, chunk.tids)) for chunk in chunks]
+            (handler, (JOIN_SPEC, query, chunk.tids)) for chunk in chunks]
         return self._pool.run_stream(handle, tasks, rows)
 
     def probe_pairs(self, query: dict[str, Any]) -> list[tuple[int, int]]:
@@ -148,6 +148,27 @@ class ChunkedJoinEngine:
                 for partial in results:
                     merger.add_chunk(partial)
             return merger.groups
+
+    def probe_factorised(self, query: dict[str, Any]
+                         ) -> tuple[dict[Any, list], int, int]:
+        """Factorised grouped probe: semiring folds, no tuple enumeration.
+
+        Returns ``(merged groups, semiring folds performed, enumerated
+        tuples those folds replaced)``; the groups are byte-identical to
+        :meth:`probe_grouped`'s for every chunk size and worker count.
+        """
+        with obs.span("sql.factorised.fold",
+                      relation=self._relations[0].name):
+            merger = AggregateMerger(query["aggs"], factorised=True)
+            partials = 0
+            tuples = 0
+            results = self._run(query, handler="factorised_fold")
+            if results is not None:
+                for groups, chunk_partials, chunk_tuples, _ in results:
+                    merger.add_chunk(groups)
+                    partials += chunk_partials
+                    tuples += chunk_tuples
+            return merger.groups, partials, tuples
 
     def __repr__(self) -> str:
         left, right = self._relations

@@ -128,6 +128,45 @@ class ChunkedMultiJoinEngine:
             combos.sort()
             return combos, counts
 
+    def probe_factorised(self, query: dict[str, Any], candidates: list[int]
+                         ) -> tuple[dict[Any, list], int, int, list[int]]:
+        """Factorised grouped probe: one fan-out, no tuple enumeration.
+
+        Workers descend the leapfrog levels exactly like ``multiway_probe``
+        but fold each fully bound block by semiring multiplication
+        (``factorised_fold``).  Returns ``(merged groups, semiring folds,
+        enumerated tuples replaced, per-level candidate counts)``; group
+        representatives are min-merged and the caller re-sorts groups by
+        representative to restore the sorted enumeration's
+        first-occurrence order.
+        """
+        with obs.span("sql.factorised.fold",
+                      tables=len(self._relations)):
+            depth = len(query["levels"])
+            merger = AggregateMerger(query["aggs"], factorised=True,
+                                     ordered_reps=True)
+            counts = [0] * depth
+            partials = 0
+            tuples = 0
+            batches = self._batches(candidates)
+            if batches:
+                if obs.enabled:
+                    obs.inc("engine.multijoin.runs")
+                    obs.observe("engine.multijoin.chunks", len(batches))
+                handle = self._ensure_handle()
+                rows = sum(len(relation) for relation in self._relations)
+                tasks: list[tuple[str, Any]] = [
+                    ("factorised_fold", (MULTI_SPEC, query, batch))
+                    for batch in batches]
+                for groups, chunk_partials, chunk_tuples, chunk_counts \
+                        in self._pool.run_stream(handle, tasks, rows):
+                    merger.add_chunk(groups)
+                    partials += chunk_partials
+                    tuples += chunk_tuples
+                    for level, count in enumerate(chunk_counts):
+                        counts[level] += count
+            return merger.groups, partials, tuples, counts
+
     def fold(self, query: dict[str, Any],
              combos: list[tuple[int, ...]]) -> dict[Any, list]:
         """Merged ``code key -> [first tuple, aggregate states...]`` groups."""

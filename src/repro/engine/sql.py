@@ -55,29 +55,61 @@ def broadcast_state(relation: Any) -> dict[str, Any]:
 
 
 class AggregateMerger:
-    """Combines per-chunk ``sql_scan`` group partials (call in chunk order)."""
+    """Combines per-chunk ``sql_scan`` group partials (call in chunk order).
 
-    __slots__ = ("_kinds", "_groups")
+    With ``factorised=True`` the merger combines ``factorised_fold``
+    semiring partials instead: counts stay additive, code sets (which
+    also back DISTINCT SUM/AVG) union, non-DISTINCT SUM/AVG merge their
+    exact ``[total, count]`` pairs elementwise, MIN/MAX keep the best
+    rank.  ``ordered_reps=True`` additionally min-merges each group's
+    representative tuple (multiway chunks see groups out of enumeration
+    order; the parent re-sorts by representative afterwards).
+    """
 
-    def __init__(self, aggs: list[tuple]) -> None:
-        self._kinds = [spec[0] for spec in aggs]
+    __slots__ = ("_kinds", "_groups", "_ordered_reps")
+
+    def __init__(self, aggs: list[tuple], factorised: bool = False,
+                 ordered_reps: bool = False) -> None:
+        if factorised:
+            self._kinds = [self._factorised_kind(spec) for spec in aggs]
+        else:
+            self._kinds = [spec[0] for spec in aggs]
         self._groups: dict[Any, list] = {}
+        self._ordered_reps = ordered_reps
+
+    @staticmethod
+    def _factorised_kind(spec: tuple) -> str:
+        kind = spec[0]
+        if kind in ("sum", "avg"):
+            # DISTINCT folds are code sets (merged like COUNT(DISTINCT));
+            # non-DISTINCT folds are exact [total, count] pairs.
+            return "count_distinct" if spec[3] else "pair"
+        if kind == "count_star":
+            return "count"
+        return kind
 
     def add_chunk(self, partial: dict[Any, list]) -> None:
         """Fold one chunk's partial groups in."""
         groups = self._groups
         kinds = self._kinds
+        ordered_reps = self._ordered_reps
         for key, entry in partial.items():
             mine = groups.get(key)
             if mine is None:
                 groups[key] = entry  # first occurrence: representative tid rides along
                 continue
+            if ordered_reps and entry[0] < mine[0]:
+                mine[0] = entry[0]  # the enumeration-order first tuple wins
             for index, kind in enumerate(kinds, start=1):
                 theirs = entry[index]
                 if kind in ("count_star", "count"):
                     mine[index] += theirs
                 elif kind == "count_distinct":
                     mine[index] |= theirs
+                elif kind == "pair":  # factorised exact [total, count]
+                    pair = mine[index]
+                    pair[0] += theirs[0]
+                    pair[1] += theirs[1]
                 elif kind in ("sum", "avg"):
                     mine[index].extend(theirs)
                 elif theirs is not None:  # min | max: strictly better rank wins

@@ -889,6 +889,402 @@ def _multiway_fold(state: dict[str, Any],
     return groups
 
 
+# -- SQL factorised (semiring) aggregate phase --------------------------------
+
+
+def initial_factorised_state(spec: tuple) -> Any:
+    """The factorised partial state before any block is folded in.
+
+    * ``count_star`` / ``count`` — an exact integer;
+    * ``count_distinct`` and DISTINCT ``sum`` / ``avg`` — a code set
+      (multiplicity-free, so the tuple product never matters);
+    * non-DISTINCT ``sum`` / ``avg`` — an exact ``[total, count]`` pair;
+    * ``min`` / ``max`` — the best ``(rank, code)`` or ``None``.
+    """
+    kind = spec[0]
+    if kind in ("count_star", "count"):
+        return 0
+    if kind == "count_distinct":
+        return set()
+    if kind in ("sum", "avg"):
+        return set() if spec[3] else [0, 0]
+    return None  # min | max
+
+
+def _factorised_fold(state: dict[str, Any],
+                     payload: tuple[str, dict[str, Any], list]) -> Any:
+    """Fold one chunk of a grouped join without enumerating its tuples.
+
+    Dispatches on the query's ``kind``: ``"join"`` folds probe tids
+    against pre-aggregated hash-bucket blocks
+    (:func:`repro.relational.sql.columnar.build_factorised_buckets`),
+    ``"multi"`` descends the leapfrog levels like :func:`_multiway_probe`
+    and folds each fully bound block by semiring multiplication.  Both
+    return ``(groups, partials, tuples, counts)``: ``sql_scan``-shaped
+    partial groups (the representative is the enumerated path's first
+    tuple), the number of semiring folds performed, the number of
+    enumerated tuples those folds replaced, and the per-level candidate
+    counts (``None`` for the join shape).
+    """
+    spec_id, query, items = payload
+    if query["kind"] == "join":
+        return _factorised_join_fold(state[spec_id]["sides"], query, items)
+    return _factorised_multi_fold(state[spec_id]["tables"], query, items)
+
+
+def _factorised_join_fold(sides: tuple, query: dict[str, Any],
+                          tids: list[int]) -> Any:
+    """Probe one chunk against blocks of pre-folded build-side partials.
+
+    Matches :func:`_join_probe`'s grouped branch pairing for pairing —
+    same probe filters, same bridge translation, same NULL / NO_PARTNER
+    misses — but each bucket *block* (one build-side group-key
+    projection, scan order) combines in O(specs): COUNT(*) adds the
+    block size, probe-side folds scale by it, build-side folds reuse the
+    block's pre-aggregated partial.  Group keys assemble from probe
+    codes and the block's part codes, so first-occurrence order and the
+    first-pair representative match the enumerated probe exactly.
+    """
+    arrays = sides[0]  # factorised probes always walk the left side
+    filters = [(arrays[position], allowed)
+               for position, allowed in query["filters"]]
+    keys = [(arrays[position], translation)
+            for position, translation in query["keys"]]
+    buckets = query["buckets"]
+    single = len(keys) == 1
+
+    if filters:
+        survivors = []
+        for tid in tids:
+            for codes, allowed in filters:
+                if codes[tid] not in allowed:
+                    break
+            else:
+                survivors.append(tid)
+    else:
+        survivors = tids
+
+    def bucket_of(tid: int) -> list | None:
+        if single:
+            codes, translation = keys[0]
+            return buckets.get(translation[codes[tid]])
+        key = []
+        for codes, translation in keys:
+            partner = translation[codes[tid]]
+            if partner < 1:  # NULL or NO_PARTNER: no bucket can match
+                return None
+            key.append(partner)
+        return buckets.get(tuple(key))
+
+    # op codes per spec: probe-side folds read the tid's code, build-side
+    # folds combine the block's pre-aggregated partial.
+    aggs = query["aggs"]
+    steps: list[tuple[int, Any, Any]] = []
+    for spec in aggs:
+        kind = spec[0]
+        if kind == "count_star":
+            steps.append((0, None, None))
+        elif spec[1] == 0:  # probe (left) side
+            codes = arrays[spec[2]]
+            if kind == "count":
+                steps.append((1, codes, None))
+            elif kind == "count_distinct" or (kind in ("sum", "avg") and spec[3]):
+                steps.append((3, codes, None))
+            elif kind in ("sum", "avg"):
+                steps.append((5, codes, spec[4]))
+            else:
+                steps.append((7 if kind == "min" else 8, codes, spec[3]))
+        else:  # build (right) side: combine the pre-folded partial
+            if kind == "count":
+                steps.append((2, None, None))
+            elif kind == "count_distinct" or (kind in ("sum", "avg") and spec[3]):
+                steps.append((4, None, None))
+            elif kind in ("sum", "avg"):
+                steps.append((6, None, None))
+            else:
+                steps.append((9 if kind == "min" else 10, None, None))
+
+    group = query["group"]
+    left_keys = []    # (key slot, probe code array)
+    right_slots = []  # (key slot, offset into the block's part codes)
+    offset = 0
+    for slot, (side, position) in enumerate(group):
+        if side == 0:
+            left_keys.append((slot, arrays[position]))
+        else:
+            right_slots.append((slot, offset))
+            offset += 1
+    single_key = len(group) == 1
+    key_codes = [0] * len(group)
+
+    groups: dict[Any, list] = {}
+    partials = 0
+    tuples = 0
+    for tid in survivors:
+        blocks = bucket_of(tid)
+        if not blocks:
+            continue
+        for slot, codes in left_keys:
+            key_codes[slot] = codes[tid]
+        for part, first_tid, size, pres in blocks:
+            for slot, position in right_slots:
+                key_codes[slot] = part[position]
+            if single_key:
+                key: Any = key_codes[0]
+            else:
+                key = tuple(key_codes)
+            partials += 1
+            tuples += size
+            entry = groups.get(key)
+            if entry is None:
+                entry = [(tid, first_tid)] + [initial_factorised_state(spec)
+                                              for spec in aggs]
+                groups[key] = entry
+            for index, (op, codes, aux) in enumerate(steps, start=1):
+                if op == 0:          # COUNT(*): the whole block matches
+                    entry[index] += size
+                    continue
+                if op == 2:          # build-side COUNT: pre-counted non-NULLs
+                    entry[index] += pres[index - 1]
+                    continue
+                if op == 4:          # build-side code set: union (pres read-only)
+                    entry[index] |= pres[index - 1]
+                    continue
+                if op == 6:          # build-side [total, count]: elementwise add
+                    pre = pres[index - 1]
+                    pair_state = entry[index]
+                    pair_state[0] += pre[0]
+                    pair_state[1] += pre[1]
+                    continue
+                if op >= 9:          # build-side MIN | MAX: best rank wins
+                    pre = pres[index - 1]
+                    if pre is not None:
+                        best = entry[index]
+                        if best is None or (pre[0] < best[0] if op == 9
+                                            else pre[0] > best[0]):
+                            entry[index] = pre
+                    continue
+                code = codes[tid]
+                if code == NULL_CODE:
+                    continue
+                if op == 1:          # probe-side COUNT: size copies of the code
+                    entry[index] += size
+                elif op == 3:        # probe-side code set
+                    entry[index].add(code)
+                elif op == 5:        # probe-side SUM/AVG: value × multiplicity
+                    pair_state = entry[index]
+                    pair_state[0] += aux[code] * size
+                    pair_state[1] += size
+                else:                # 7 min | 8 max on the probe side
+                    rank = aux[code]
+                    best = entry[index]
+                    if best is None or (rank < best[0] if op == 7 else rank > best[0]):
+                        entry[index] = (rank, code)
+    return groups, partials, tuples, None
+
+
+def _factorised_multi_fold(tables: tuple, query: dict[str, Any],
+                           candidates: list[int]) -> Any:
+    """Descend one chunk of first-variable candidates, folding — not
+    enumerating — every fully bound block.
+
+    The descent is :func:`_multiway_probe` move for move (same grouping,
+    same leapfrog intersection, same per-level counts); only the full
+    depth differs.  There each side holds a bound tid list and the block
+    contributes its cartesian product; here each side's list is
+    partitioned by its group-key codes, per-part partial aggregates are
+    folded once, and every cross-side part combination contributes by
+    semiring multiplication: COUNT(*) adds the product of part sizes,
+    per-side folds scale by the co-sides' multiplicity (an exact
+    integer), code sets union, MIN/MAX compare ranks.  The group
+    representative is the combination's per-side minimum tids — exactly
+    the lexicographically first tuple of its cartesian product, i.e. the
+    enumerated path's first occurrence — min-merged per group so the
+    parent can re-sort groups into the sorted enumeration's
+    first-occurrence order.
+    """
+    levels = query["levels"]
+    base = query["base"]
+    level_one = query["level_one"]
+    depth = len(levels)
+    counts = [0] * depth
+    aggs = query["aggs"]
+    group = query["group"]
+    table_count = len(tables)
+
+    # group-key code arrays per side; key_slots maps each output key slot
+    # to (side, offset into that side's part-key tuple).
+    side_key_arrays: list[list] = [[] for _ in range(table_count)]
+    key_slots: list[tuple[int, int]] = []
+    for side, position in group:
+        key_slots.append((side, len(side_key_arrays[side])))
+        side_key_arrays[side].append(tables[side][position])
+    single_key = len(group) == 1
+
+    # per-side fold steps: (spec slot, mode, codes, ranks-or-values);
+    # combine modes per spec: how a part's stat enters the group entry.
+    side_steps: list[list[tuple[int, int, Any, Any]]] = \
+        [[] for _ in range(table_count)]
+    combines: list[tuple[int, int]] = []  # (mode, side) per spec
+    for index, spec in enumerate(aggs):
+        kind = spec[0]
+        if kind == "count_star":
+            combines.append((0, 0))
+            continue
+        side = spec[1]
+        codes = tables[side][spec[2]]
+        if kind == "count":
+            side_steps[side].append((index, 0, codes, None))
+            combines.append((1, side))
+        elif kind == "count_distinct" or (kind in ("sum", "avg") and spec[3]):
+            side_steps[side].append((index, 1, codes, None))
+            combines.append((2, side))
+        elif kind in ("sum", "avg"):
+            side_steps[side].append((index, 2, codes, spec[4]))
+            combines.append((3, side))
+        else:
+            side_steps[side].append((index, 3 if kind == "min" else 4,
+                                     codes, spec[3]))
+            combines.append((4 if kind == "min" else 5, side))
+
+    groups: dict[Any, list] = {}
+    partials = 0
+    tuples = 0
+
+    def fold_block(per_table: list[list[int]]) -> None:
+        nonlocal partials, tuples
+        # partition each side by its group-key codes (insertion order =
+        # that side's first-occurrence order); sides without group keys
+        # stay one part.  Tid lists are ascending, so part[1][0] is the
+        # part's minimum tid.
+        parts_per_side: list[list[tuple[tuple, list[int]]]] = []
+        stats_per_side: list[list[dict[int, Any]]] = []
+        for side in range(table_count):
+            tids = per_table[side]
+            key_arrays = side_key_arrays[side]
+            if key_arrays:
+                parts: dict[tuple, list[int]] = {}
+                for tid in tids:
+                    part_key = tuple(codes[tid] for codes in key_arrays)
+                    bucket = parts.get(part_key)
+                    if bucket is None:
+                        parts[part_key] = [tid]
+                    else:
+                        bucket.append(tid)
+                part_list = list(parts.items())
+            else:
+                part_list = [((), tids)] if tids else []
+            steps = side_steps[side]
+            side_stats: list[dict[int, Any]] = []
+            for _, part_tids in part_list:
+                stats: dict[int, Any] = {}
+                for index, mode, codes, aux in steps:
+                    if mode == 0:    # COUNT: non-NULLs in the part
+                        stat: Any = 0
+                        for tid in part_tids:
+                            if codes[tid] != NULL_CODE:
+                                stat += 1
+                    elif mode == 1:  # code set
+                        stat = set()
+                        for tid in part_tids:
+                            code = codes[tid]
+                            if code != NULL_CODE:
+                                stat.add(code)
+                    elif mode == 2:  # exact [total, count]
+                        stat = [0, 0]
+                        for tid in part_tids:
+                            code = codes[tid]
+                            if code != NULL_CODE:
+                                stat[0] += aux[code]
+                                stat[1] += 1
+                    else:            # 3 min | 4 max
+                        stat = None
+                        for tid in part_tids:
+                            code = codes[tid]
+                            if code == NULL_CODE:
+                                continue
+                            rank = aux[code]
+                            if stat is None or (rank < stat[0] if mode == 3
+                                                else rank > stat[0]):
+                                stat = (rank, code)
+                    stats[index] = stat
+                side_stats.append(stats)
+            parts_per_side.append(part_list)
+            stats_per_side.append(side_stats)
+
+        for choice in product(*(range(len(part_list))
+                                for part_list in parts_per_side)):
+            sizes = [len(parts_per_side[side][pick][1])
+                     for side, pick in enumerate(choice)]
+            multiplier = 1
+            for size in sizes:
+                multiplier *= size
+            partials += 1
+            tuples += multiplier
+            if single_key:
+                side, offset = key_slots[0]
+                key: Any = parts_per_side[side][choice[side]][0][offset]
+            elif key_slots:
+                key = tuple(parts_per_side[side][choice[side]][0][offset]
+                            for side, offset in key_slots)
+            else:
+                key = ()
+            representative = tuple(parts_per_side[side][pick][1][0]
+                                   for side, pick in enumerate(choice))
+            entry = groups.get(key)
+            if entry is None:
+                entry = [representative] + [initial_factorised_state(spec)
+                                            for spec in aggs]
+                groups[key] = entry
+            elif representative < entry[0]:
+                entry[0] = representative
+            for index, (mode, side) in enumerate(combines, start=1):
+                if mode == 0:        # COUNT(*): the whole block
+                    entry[index] += multiplier
+                    continue
+                stat = stats_per_side[side][choice[side]][index - 1]
+                if mode == 1:        # COUNT: scale by co-sides' multiplicity
+                    entry[index] += stat * (multiplier // sizes[side])
+                elif mode == 2:      # code set: union
+                    entry[index] |= stat
+                elif mode == 3:      # [total, count] × co-sides' multiplicity
+                    scale = multiplier // sizes[side]
+                    pair_state = entry[index]
+                    pair_state[0] += stat[0] * scale
+                    pair_state[1] += stat[1] * scale
+                elif stat is not None:  # 4 min | 5 max
+                    best = entry[index]
+                    if best is None or (stat[0] < best[0] if mode == 4
+                                        else stat[0] > best[0]):
+                        entry[index] = stat
+
+    def descend(level: int, per_table: list[list[int]]) -> None:
+        if level == depth:
+            fold_block(per_table)
+            return
+        maps: list[tuple[int, dict[int, list[int]]]] = []
+        for table, members in levels[level]:
+            bound = multiway_group(tables[table], per_table[table], members)
+            if not bound:
+                return
+            maps.append((table, bound))
+        for code in gallop_intersect([sorted(bound) for _, bound in maps]):
+            counts[level] += 1
+            next_tids = list(per_table)
+            for table, bound in maps:
+                next_tids[table] = bound[code]
+            descend(level + 1, next_tids)
+
+    first_tables = [table for table, _ in levels[0]]
+    for code in candidates:
+        counts[0] += 1
+        per_table = list(base)
+        for table in first_tables:
+            per_table[table] = level_one[table][code]
+        descend(1, per_table)
+    return groups, partials, tuples, counts
+
+
 # -- discovery subset-refinement phase ---------------------------------------
 
 
@@ -984,6 +1380,7 @@ _HANDLERS = {
     "cfd_groups": _cfd_groups,
     "cind_rhs": _cind_rhs,
     "cind_lhs": _cind_lhs,
+    "factorised_fold": _factorised_fold,
     "join_probe": _join_probe,
     "multiway_fold": _multiway_fold,
     "multiway_probe": _multiway_probe,

@@ -317,7 +317,7 @@ class CodePlan:
 
     __slots__ = ("relation", "table", "filters", "grouped", "group_positions",
                  "agg_calls", "agg_specs", "items", "names", "having",
-                 "order_ranks")
+                 "order_ranks", "limit")
 
     def __init__(self, relation: "Relation", table: TableRef) -> None:
         self.relation = relation
@@ -338,6 +338,8 @@ class CodePlan:
         self.having: Expression | None = None
         #: plain-scan ORDER BY as (position, descending) rank sorts, or None.
         self.order_ranks: list[tuple[int, bool]] | None = None
+        #: LIMIT of a plain ordered scan — enables top-k rank selection.
+        self.limit: int | None = None
 
 
 def _register_aggregate(plan: CodePlan, registry: dict[AggregateCall, int],
@@ -456,6 +458,7 @@ def compile_plan(database: "Database", statement: SelectStatement,
             return _note(reasons, f"select item {expression} is computed")
         plan.items.append(("col", position))
     plan.order_ranks = _order_ranks(plan, statement)
+    plan.limit = statement.limit
     return plan
 
 
@@ -1293,3 +1296,266 @@ def multiway_fold_payload(plan: MultiJoinPlan) -> dict[str, Any]:
         else:
             aggs.append(spec)
     return {"group": plan.group_keys, "aggs": aggs}
+
+
+# -- factorised (semiring) aggregate plans ------------------------------------
+#
+# A grouped join does not need the tuple product: COUNT / SUM / MIN / MAX
+# are semiring folds, so per-table partial aggregates per join-variable
+# binding combine by multiplication instead of enumeration (the FAQ
+# decomposition over the FDB-style factorised representation the
+# tid-group lists already are).  For the two-table hash join, build-side
+# partials fold into the buckets before any probe runs; for the multiway
+# join, the worker folds each fully bound per-table block without
+# expanding the cartesian product.  Results are byte-identical to the
+# enumerated path:
+#
+# * COUNT(*) multiplies block sizes; COUNT(col) scales the per-block
+#   non-NULL count by the co-block multiplicity (an exact integer).
+# * COUNT(DISTINCT col) and DISTINCT SUM/AVG keep code *sets* —
+#   multiplicity-free, so the product never matters.
+# * MIN / MAX compare dense dictionary-order ranks; repetition cannot
+#   change the best rank, and distinct codes have distinct ranks, so the
+#   winning code is order-independent.
+# * SUM / AVG fold as an exact (total, count) pair — but only over
+#   INTEGER / BOOLEAN columns, where addition is associative bit for bit.
+#   FLOAT arguments stay on the enumerated path (recorded as a why-not
+#   reason): the factorised product cannot replay the row path's fold
+#   order, and float addition is not associative.
+# * The group representative (HAVING / expression items evaluate against
+#   it) is the enumerated path's first tuple: for the hash join the
+#   probe-order first (left tid, block first tid) pair, for the multiway
+#   join the per-side minima merged by lexicographic min, with groups
+#   re-sorted by representative to restore the ascending first-occurrence
+#   order of the sorted enumeration.
+
+#: module switch used by parity tests to force the enumerated reference.
+FACTORISE = True
+
+#: column types whose SUM/AVG folds are exact (order-free) integers.
+_EXACT_FOLD_TYPES = (AttributeType.INTEGER, AttributeType.BOOLEAN)
+
+
+class FactorisedPlan:
+    """A grouped join plan evaluated by semiring folds, not enumeration."""
+
+    __slots__ = ("plan", "kind")
+
+    def __init__(self, plan: "JoinPlan | MultiJoinPlan", kind: str) -> None:
+        self.plan = plan  #: the compiled enumerated plan (shape + specs).
+        self.kind = kind  #: ``"join"`` (two tables) or ``"multiway"``.
+
+
+def factorise_plan(plan: "JoinPlan | MultiJoinPlan",
+                   reasons: list[str] | None = None) -> FactorisedPlan | None:
+    """Wrap *plan* as a :class:`FactorisedPlan`, or ``None`` to enumerate.
+
+    A plan factorises when it is grouped (plain scans must enumerate
+    their output tuples) and every aggregate is semiring-foldable —
+    which leaves exactly one gate: SUM / AVG over a non-integer column,
+    whose float fold order only the enumerated path can preserve.  When
+    *reasons* is a list, every fallback appends an explanation for
+    ``EXPLAIN``'s ``why_not_factorised`` block.
+    """
+    if not FACTORISE:
+        return _note(reasons, "factorised aggregates are disabled")
+    if not plan.grouped:
+        return _note(reasons,
+                     "statement has no aggregates (plain scans enumerate tuples)")
+    for call, spec in zip(plan.agg_calls, plan.agg_specs):
+        if spec[0] in ("sum", "avg"):
+            attribute = plan.relations[spec[1]].schema.attributes[spec[2]]
+            if attribute.type not in _EXACT_FOLD_TYPES:
+                return _note(
+                    reasons,
+                    f"aggregate {call} folds {attribute.type.value} values, "
+                    "whose fold order the factorised product cannot preserve")
+    kind = "join" if isinstance(plan, JoinPlan) else "multiway"
+    return FactorisedPlan(plan, kind)
+
+
+def factorised_aggregates(plan: "JoinPlan | MultiJoinPlan") -> list[tuple]:
+    """The side-tagged semiring specs of the ``factorised_fold`` worker.
+
+    * ``("count_star",)``
+    * ``("count" | "count_distinct", side, position)``
+    * ``("min" | "max", side, position, ranks)`` — dense dictionary ranks;
+    * ``("sum" | "avg", side, position, distinct, values)`` — the decoded
+      value list rides along for the exact ``[total, count]`` fold
+      (``None`` when DISTINCT: the code set decodes at finalize).
+    """
+    aggs: list[tuple] = []
+    for spec in plan.agg_specs:
+        kind = spec[0]
+        if kind in ("min", "max"):
+            ranks = plan.relations[spec[1]].columns.column_at(spec[2]).order().ranks
+            aggs.append((kind, spec[1], spec[2], ranks))
+        elif kind in ("sum", "avg"):
+            values = None if spec[3] else \
+                plan.relations[spec[1]].columns.column_at(spec[2]).values
+            aggs.append((kind, spec[1], spec[2], spec[3], values))
+        else:  # count_star | count | count_distinct ride unchanged
+            aggs.append(spec)
+    return aggs
+
+
+def build_factorised_buckets(plan: "JoinPlan",
+                             aggs: list[tuple]) -> dict[Any, list[list]]:
+    """Build-side hash buckets with per-block partial aggregates folded in.
+
+    Same keying as :func:`build_join_buckets` (side 1 builds, push-down
+    filters apply first, NULL join keys never match, bare code for one
+    key pair), but instead of raw tid lists each bucket holds *blocks* —
+    one per distinct build-side group-key projection, in first-occurrence
+    (scan) order: ``[part codes, first tid, size, partials]`` with one
+    pre-folded partial per spec (``None`` for probe-side specs).  Every
+    probe hit then combines a whole block in O(specs), never O(size).
+    """
+    relation = plan.relations[1]
+    store = relation.columns
+    key_arrays = [store.column_at(pair[1]).codes for pair in plan.key_pairs]
+    filters = [(store.column_at(position).codes, allowed)
+               for position, allowed in plan.filters[1]]
+    part_arrays = [store.column_at(position).codes
+                   for side, position in plan.group_keys if side == 1]
+    # build-side fold steps: (spec slot, op, codes, ranks-or-values)
+    steps: list[tuple[int, int, Any, Any]] = []
+    for index, spec in enumerate(aggs):
+        kind = spec[0]
+        if kind == "count_star" or spec[1] != 1:
+            continue
+        codes = store.column_at(spec[2]).codes
+        if kind == "count":
+            steps.append((index, 0, codes, None))
+        elif kind == "count_distinct" or (kind in ("sum", "avg") and spec[3]):
+            steps.append((index, 1, codes, None))
+        elif kind in ("sum", "avg"):
+            steps.append((index, 2, codes, spec[4]))
+        else:  # min | max
+            steps.append((index, 3 if kind == "min" else 4, codes, spec[3]))
+    single = len(key_arrays) == 1
+    buckets: dict[Any, dict[Any, list]] = {}
+    for tid in relation.tids():
+        if any(codes[tid] not in allowed for codes, allowed in filters):
+            continue
+        if single:
+            key: Any = key_arrays[0][tid]
+            if key == NULL_CODE:
+                continue
+        else:
+            key_codes = [codes[tid] for codes in key_arrays]
+            if NULL_CODE in key_codes:
+                continue
+            key = tuple(key_codes)
+        part = tuple(codes[tid] for codes in part_arrays)
+        blocks = buckets.get(key)
+        if blocks is None:
+            blocks = buckets[key] = {}
+        block = blocks.get(part)
+        if block is None:
+            partials: list[Any] = [None] * len(aggs)
+            for index, op, _, _ in steps:
+                partials[index] = 0 if op == 0 else set() if op == 1 \
+                    else [0, 0] if op == 2 else None
+            block = blocks[part] = [part, tid, 0, partials]
+        block[2] += 1
+        partials = block[3]
+        for index, op, codes, aux in steps:
+            code = codes[tid]
+            if code == NULL_CODE:
+                continue
+            if op == 0:
+                partials[index] += 1
+            elif op == 1:
+                partials[index].add(code)
+            elif op == 2:
+                pair_state = partials[index]
+                pair_state[0] += aux[code]
+                pair_state[1] += 1
+            else:
+                rank = aux[code]
+                best = partials[index]
+                if best is None or (rank < best[0] if op == 3 else rank > best[0]):
+                    partials[index] = (rank, code)
+    return {key: list(blocks.values()) for key, blocks in buckets.items()}
+
+
+def factorised_join_payload(plan: "JoinPlan", aggs: list[tuple],
+                            buckets: dict[Any, list[list]]) -> dict[str, Any]:
+    """The picklable ``factorised_fold`` query of a two-table hash join.
+
+    Factorised probes always walk the left side (group first-occurrence
+    order is left-major, like enumerated grouped probes); bridges are
+    revalidated per query exactly as in :func:`join_query_payload`.
+    """
+    probe_store = plan.relations[0].columns
+    build_store = plan.relations[1].columns
+    keys = []
+    for pair in plan.key_pairs:
+        probe_column = probe_store.column_at(pair[0])
+        build_column = build_store.column_at(pair[1])
+        keys.append((pair[0], probe_column.bridge_to(build_column).translation))
+    return {
+        "kind": "join",
+        "probe_side": 0,
+        "filters": plan.filters[0],
+        "keys": keys,
+        "buckets": buckets,
+        "group": plan.group_keys,
+        "aggs": aggs,
+    }
+
+
+def factorised_multi_payload(plan: "MultiJoinPlan"
+                             ) -> tuple[dict[str, Any], list[int]]:
+    """The picklable ``factorised_fold`` query of a multiway join.
+
+    The probe shape (levels, base tids, first-variable groups) is shared
+    verbatim with :func:`multiway_query_payload`; the factorised worker
+    descends identically and folds each fully bound block instead of
+    emitting its cartesian product.
+    """
+    query, candidates = multiway_query_payload(plan)
+    query = dict(query)
+    query["kind"] = "multi"
+    query["group"] = plan.group_keys
+    query["aggs"] = factorised_aggregates(plan)
+    return query, candidates
+
+
+def empty_factorised_state(spec: tuple) -> Any:
+    """The factorised partial state of a group no tuple reached."""
+    from repro.engine.worker import initial_factorised_state
+
+    return initial_factorised_state(spec)
+
+
+def finalize_factorised(spec: tuple, state: Any, relations: tuple) -> Any:
+    """Turn one merged factorised partial into the SQL result value.
+
+    Mirrors :func:`finalize_join_aggregate` value for value: counts are
+    ints, DISTINCT states are code sets (decoded here; integer sums are
+    order-free, so set order never shows), SUM/AVG finalize the exact
+    ``[total, count]`` pair (``count == 0`` — an empty or all-NULL group —
+    is NULL, and ``total / count`` divides the same two ints the
+    enumerated fold produces), MIN/MAX decode the best rank's code.
+    """
+    kind = spec[0]
+    if kind in ("count_star", "count"):
+        return state
+    if kind == "count_distinct":
+        return len(state)
+    if kind in ("sum", "avg"):
+        if spec[3]:  # DISTINCT: the code set decodes to exact integers
+            if not state:
+                return NULL
+            values = relations[spec[1]].columns.column_at(spec[2]).values
+            total = sum(values[code] for code in state)
+            return total if kind == "sum" else total / len(state)
+        total, count = state
+        if not count:
+            return NULL
+        return total if kind == "sum" else total / count
+    if state is None:  # min | max over an empty / all-NULL group
+        return NULL
+    return relations[spec[1]].columns.column_at(spec[2]).values[state[1]]

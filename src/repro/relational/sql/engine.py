@@ -51,7 +51,7 @@ class SQLEngine:
     @property
     def last_plan(self) -> str | None:
         """The path the last SELECT took: ``"code"``, ``"join"``,
-        ``"multiway"`` or ``"row"`` (diagnostics)."""
+        ``"multiway"``, ``"factorised"`` or ``"row"`` (diagnostics)."""
         return self._executor.last_plan
 
     @property

@@ -35,6 +35,7 @@ with the rest of the engine.
 
 from __future__ import annotations
 
+import heapq
 from collections import defaultdict
 from typing import Any, Callable, Iterable
 
@@ -59,8 +60,10 @@ from repro.relational.sql.ast import (
 )
 from repro.relational.sql.columnar import (
     CodePlan,
+    FactorisedPlan,
     JoinPlan,
     MultiJoinPlan,
+    build_factorised_buckets,
     build_join_buckets,
     collect_aggregates,
     compile_filter,
@@ -68,8 +71,14 @@ from repro.relational.sql.columnar import (
     compile_multi_join_plan,
     compile_plan,
     empty_aggregate_state,
+    empty_factorised_state,
     expanded_items,
+    factorise_plan,
+    factorised_aggregates,
+    factorised_join_payload,
+    factorised_multi_payload,
     finalize_aggregate,
+    finalize_factorised,
     finalize_join_aggregate,
     flatten_conjuncts,
     join_query_payload,
@@ -309,7 +318,8 @@ class SQLExecutor:
         self._join_engines: dict[tuple[str, str], Any] = {}
         #: per-relation-tuple chunked multiway engines, keyed by name tuple.
         self._multi_engines: dict[tuple[str, ...], Any] = {}
-        #: the path the last SELECT took: "code", "join", "multiway" or "row".
+        #: the path the last SELECT took: "code", "join", "multiway",
+        #: "factorised" or "row".
         self.last_plan: str | None = None
         #: EXPLAIN info for the last statement run with ``explain=True``.
         self.last_explain: dict[str, Any] | None = None
@@ -360,12 +370,14 @@ class SQLExecutor:
         info: dict[str, Any] | None = None
         if explain:
             info = {"plan": "row", "why_not_code": [], "why_not_join": [],
-                    "why_not_multiway": [], "filters": [], "join": None,
-                    "multiway": None}
+                    "why_not_multiway": [], "why_not_factorised": [],
+                    "filters": [], "join": None, "multiway": None,
+                    "factorised": None}
             if not self._use_columns:
                 info["why_not_code"].append("use_columns=False")
                 info["why_not_join"].append("use_columns=False")
                 info["why_not_multiway"].append("use_columns=False")
+                info["why_not_factorised"].append("use_columns=False")
         self._explain = info
         if self._use_columns:
             plan = compile_plan(self._database, statement,
@@ -386,12 +398,25 @@ class SQLExecutor:
                     self._database, statement,
                     info["why_not_join"] if info is not None else None)
                 if join_plan is not None:
-                    self.last_plan = "join"
-                    if obs.enabled:
-                        obs.inc("sql.plan.join")
-                    if info is not None:
-                        info["plan"] = "join"
-                    output_rows, names, pre_ordered = self._execute_join_plan(join_plan)
+                    factorised = factorise_plan(
+                        join_plan,
+                        info["why_not_factorised"] if info is not None else None)
+                    if factorised is not None:
+                        self.last_plan = "factorised"
+                        if obs.enabled:
+                            obs.inc("sql.plan.factorised")
+                        if info is not None:
+                            info["plan"] = "factorised"
+                        output_rows, names, pre_ordered = \
+                            self._execute_factorised_join(join_plan)
+                    else:
+                        self.last_plan = "join"
+                        if obs.enabled:
+                            obs.inc("sql.plan.join")
+                        if info is not None:
+                            info["plan"] = "join"
+                        output_rows, names, pre_ordered = \
+                            self._execute_join_plan(join_plan)
                     ran_code = True
                 else:
                     multi_plan = compile_multi_join_plan(
@@ -399,13 +424,25 @@ class SQLExecutor:
                         info["why_not_multiway"] if info is not None else None,
                         self._fds)
                     if multi_plan is not None:
-                        self.last_plan = "multiway"
-                        if obs.enabled:
-                            obs.inc("sql.plan.multiway")
-                        if info is not None:
-                            info["plan"] = "multiway"
-                        output_rows, names, pre_ordered = \
-                            self._execute_multi_join_plan(multi_plan)
+                        factorised = factorise_plan(
+                            multi_plan,
+                            info["why_not_factorised"] if info is not None else None)
+                        if factorised is not None:
+                            self.last_plan = "factorised"
+                            if obs.enabled:
+                                obs.inc("sql.plan.factorised")
+                            if info is not None:
+                                info["plan"] = "factorised"
+                            output_rows, names, pre_ordered = \
+                                self._execute_factorised_multi(multi_plan)
+                        else:
+                            self.last_plan = "multiway"
+                            if obs.enabled:
+                                obs.inc("sql.plan.multiway")
+                            if info is not None:
+                                info["plan"] = "multiway"
+                            output_rows, names, pre_ordered = \
+                                self._execute_multi_join_plan(multi_plan)
                         ran_code = True
         if obs.enabled and not ran_code:
             obs.inc("sql.plan.row")
@@ -533,6 +570,9 @@ class SQLExecutor:
                  store.column_at(position).codes, descending)
                 for position, descending in order]
         flags = [descending for _, _, descending in keys]
+        limit = plan.limit
+        if limit is not None and 0 <= limit < len(tids):
+            return self._code_top_k(tids, keys, flags, limit), True
         if any(flags) and not all(flags):
             # mixed directions: sort stably, last key first
             ordered = list(tids)
@@ -547,6 +587,44 @@ class SQLExecutor:
         if all(flags):
             ordered = list(reversed(ordered))
         return ordered, True
+
+    def _code_top_k(self, tids: list[int], keys: list[tuple],
+                    flags: list[bool], limit: int) -> list[int]:
+        """``LIMIT k`` pushed into an ordered scan: partial top-k selection.
+
+        ``heapq.nsmallest(k, ..., key)`` is documented equivalent to
+        ``sorted(..., key)[:k]`` — a stable selection — so each direction
+        shape maps to a rank-tuple key that replays :meth:`_code_order`'s
+        full sort (then truncation) exactly:
+
+        * all ascending — the plain rank tuple (ties keep scan order,
+          like the stable full sort);
+        * all descending — negated ranks with a negated-tid tiebreak
+          (the full path reverses an ascending sort, which also reverses
+          tie order);
+        * mixed — per-key sign flips (a cascade of stable single-key
+          sorts, last key first, equals one lexicographic sort on the
+          signed ranks, ties in scan order).
+
+        Ranks are dense integers, so every negation is exact.
+        """
+        if all(flags):
+            def key(tid: int) -> tuple:
+                return tuple(-ranks[codes[tid]]
+                             for ranks, codes, _ in keys) + (-tid,)
+        elif any(flags):
+            def key(tid: int) -> tuple:
+                return tuple(-ranks[codes[tid]] if descending
+                             else ranks[codes[tid]]
+                             for ranks, codes, descending in keys)
+        else:
+            def key(tid: int) -> tuple:
+                return tuple(ranks[codes[tid]] for ranks, codes, _ in keys)
+        selected = heapq.nsmallest(limit, tids, key=key)
+        info = self._explain
+        if info is not None:
+            info["order"] = {"top_k": limit, "rows_in": len(tids)}
+        return selected
 
     def _code_grouped_output(self, plan: CodePlan,
                              merged: dict[Any, list]) -> list[list[Any]]:
@@ -684,6 +762,129 @@ class SQLExecutor:
             self._join_engines[key] = engine
         return engine
 
+    # -- factorised (semiring) aggregate execution ---------------------------
+
+    def _execute_factorised_join(self, plan: JoinPlan
+                                 ) -> tuple[list[list[Any]], list[str], bool]:
+        """Run a grouped hash join by semiring folds, not enumeration.
+
+        Build-side partials fold into the buckets before any probe runs
+        (:func:`build_factorised_buckets`); every probe hit then combines
+        a whole block in O(specs).  Results are byte-identical to
+        :meth:`_execute_join_plan`'s grouped branch.
+        """
+        left, right = plan.relations
+        aggs = factorised_aggregates(plan)
+        buckets = build_factorised_buckets(plan, aggs)
+        query = factorised_join_payload(plan, aggs, buckets)
+
+        info = self._explain
+        if info is not None:
+            bindings = (plan.tables[0].binding_name, plan.tables[1].binding_name)
+            for side in (0, 1):
+                info["filters"].extend(self._explain_filters(
+                    plan.relations[side], bindings[side], plan.filters[side]))
+            info["join"] = {
+                "build_side": bindings[1],
+                "probe_side": bindings[0],
+                "build_rows": len(right),
+                "probe_rows": len(left),
+                "buckets": len(buckets),
+                "key_pairs": len(plan.key_pairs),
+            }
+        if obs.enabled:
+            obs.observe("sql.join.buckets", len(buckets))
+
+        if self._pool is None:
+            from repro.engine import worker
+            from repro.engine.join import JOIN_SPEC, join_state
+
+            [(seconds, (merged, partials, tuples, _))] = worker.run_local_timed(
+                join_state(left, right),
+                [("factorised_fold", (JOIN_SPEC, query, left.tids()))])
+            if obs.enabled:
+                obs.observe("engine.task.factorised_fold.seconds", seconds)
+        else:
+            engine = self._join_engine(left, right)
+            merged, partials, tuples = engine.probe_factorised(query)
+
+        self._note_factorised("join", merged, partials, tuples)
+        return (self._join_grouped_output(plan, merged, factorised=True),
+                list(plan.names), False)
+
+    def _execute_factorised_multi(self, plan: MultiJoinPlan
+                                  ) -> tuple[list[list[Any]], list[str], bool]:
+        """Run a grouped multiway join by semiring folds, not enumeration.
+
+        One fan-out instead of probe + fold: workers descend the leapfrog
+        levels and fold each fully bound block without expanding its
+        cartesian product.  Group representatives are min-merged, and the
+        merged groups are re-sorted by representative — the sorted
+        enumeration's first-occurrence order — so results are
+        byte-identical to :meth:`_execute_multi_join_plan`'s grouped
+        branch.
+        """
+        relations = plan.relations
+        query, candidates = factorised_multi_payload(plan)
+        info = self._explain
+        if info is not None:
+            for side, table in enumerate(plan.tables):
+                info["filters"].extend(self._explain_filters(
+                    relations[side], table.binding_name, plan.filters[side]))
+
+        if self._pool is None:
+            from repro.engine import worker
+            from repro.engine.multijoin import MULTI_SPEC, multi_join_state
+
+            [(seconds, (merged, partials, tuples, counts))] = \
+                worker.run_local_timed(
+                    multi_join_state(relations),
+                    [("factorised_fold", (MULTI_SPEC, query, candidates))])
+            if obs.enabled:
+                obs.observe("engine.task.factorised_fold.seconds", seconds)
+            merged = dict(sorted(merged.items(), key=lambda item: item[1][0]))
+        else:
+            engine = self._multi_engine(relations)
+            merged, partials, tuples, counts = \
+                engine.probe_factorised(query, candidates)
+            merged = dict(sorted(merged.items(), key=lambda item: item[1][0]))
+
+        if obs.enabled:
+            for count in counts:
+                obs.observe("sql.multiway.candidates", count)
+        if info is not None:
+            info["multiway"] = {
+                "tables": [table.binding_name for table in plan.tables],
+                "order": [{
+                    "members": [
+                        f"{plan.tables[side].binding_name}."
+                        f"{relations[side].schema.attribute_names[position]}"
+                        for side, position in members],
+                    "fd_implied": fd_implied,
+                    "estimate": estimate,
+                    "candidates": counts[level],
+                } for level, (members, fd_implied, estimate)
+                    in enumerate(plan.var_order)],
+                "tuples": tuples,
+            }
+        self._note_factorised("multiway", merged, partials, tuples)
+        return (self._join_grouped_output(plan, merged, factorised=True),
+                list(plan.names), False)
+
+    def _note_factorised(self, kind: str, merged: dict[Any, list],
+                         partials: int, tuples: int) -> None:
+        """Record a factorised run's shape into obs and EXPLAIN."""
+        if obs.enabled:
+            obs.observe("sql.factorised.partials", partials)
+        info = self._explain
+        if info is not None:
+            info["factorised"] = {
+                "kind": kind,
+                "partials": partials,
+                "tuples": tuples,
+                "groups": len(merged),
+            }
+
     # -- code-native multiway (3+ table) join execution ----------------------
 
     def _execute_multi_join_plan(self, plan: MultiJoinPlan
@@ -808,21 +1009,30 @@ class SQLExecutor:
         return ordered, True
 
     def _join_grouped_output(self, plan: JoinPlan | MultiJoinPlan,
-                             merged: dict[Any, list]) -> list[list[Any]]:
-        """Assemble grouped join output from merged partial-aggregate states."""
+                             merged: dict[Any, list],
+                             factorised: bool = False) -> list[list[Any]]:
+        """Assemble grouped join output from merged partial-aggregate states.
+
+        ``factorised=True`` selects the semiring finalizers — the states
+        are :func:`empty_factorised_state`-shaped then — but the group
+        walk, HAVING, representatives and item evaluation are shared, so
+        the two paths cannot drift.
+        """
         relations = plan.relations
         if not merged and not plan.group_keys:
             # aggregates without GROUP BY over no joined rows still emit one
             merged = {(): None}
+        empty_state = empty_factorised_state if factorised else empty_aggregate_state
+        finalize = finalize_factorised if factorised else finalize_join_aggregate
         output: list[list[Any]] = []
         for entry in merged.values():
             if entry is None:
                 representative = None
-                states = [empty_aggregate_state(spec) for spec in plan.agg_specs]
+                states = [empty_state(spec) for spec in plan.agg_specs]
             else:
                 representative = entry[0]
                 states = entry[1:]
-            finalized = [finalize_join_aggregate(spec, state, relations)
+            finalized = [finalize(spec, state, relations)
                          for spec, state in zip(plan.agg_specs, states)]
             aggregate_values = dict(zip(plan.agg_calls, finalized))
             context: list[EvaluationContext] = []

@@ -3,7 +3,8 @@
 The executor collects a plain dict per statement when asked to explain
 (:meth:`~repro.relational.sql.executor.SQLExecutor.execute` with
 ``explain=True``): the chosen plan (``code`` / ``join`` / ``multiway`` /
-``row`` / ``union``), the reasons the faster paths were rejected,
+``factorised`` / ``row`` / ``union``), the reasons the faster paths were
+rejected,
 per-conjunct push-down pruning stats, and hash-join / multiway-join
 shape (variable order with per-level candidate counts).  :func:`format_explain`
 turns that dict into the text the CLI ``--explain`` flag and
@@ -19,6 +20,7 @@ _PLAN_DESCRIPTIONS = {
     "code": "code-native single-table scan on dictionary codes",
     "join": "code-native hash join on dictionary codes",
     "multiway": "code-native leapfrog multiway join on rank arrays",
+    "factorised": "code-native join with factorised (semiring) aggregates",
     "row": "row-at-a-time reference path",
 }
 
@@ -55,6 +57,12 @@ def format_explain(info: dict[str, Any]) -> str:
     elif plan != "row":
         lines.append("push-down filters: none")
 
+    order = info.get("order")
+    if order:
+        lines.append(
+            f"order by: top-{order['top_k']} heap selection on rank tuples "
+            f"over {order['rows_in']} rows (LIMIT push-down)")
+
     join = info.get("join")
     if join:
         lines.append(
@@ -77,9 +85,19 @@ def format_explain(info: dict[str, Any]) -> str:
                 f"(estimate {entry['estimate']}{tag}): "
                 f"{entry['candidates']} candidate(s)")
 
+    factorised = info.get("factorised")
+    if factorised:
+        lines.append(
+            f"factorised aggregates: {factorised['partials']} semiring "
+            f"fold(s) over {factorised['groups']} group(s) instead of "
+            f"{factorised['tuples']} enumerated tuple(s)")
+
     if plan != "code":
         _append_reasons(lines, "why not code-native scan:",
                         info.get("why_not_code") or [])
+    if plan in ("join", "multiway"):
+        _append_reasons(lines, "why not factorised aggregates:",
+                        info.get("why_not_factorised") or [])
     if plan == "row":
         _append_reasons(lines, "why not code-native join:",
                         info.get("why_not_join") or [])

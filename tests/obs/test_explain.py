@@ -129,6 +129,39 @@ class TestMultiwayPlanExplain:
         assert "neither an equi key nor a single-side code-set test" in text
 
 
+class TestFactorisedPlanExplain:
+    QUERY = ("SELECT c.city, COUNT(*) AS n FROM customer c "
+             "JOIN orders o ON c.name = o.cust GROUP BY city")
+
+    def test_reports_folds_instead_of_tuples(self, sql):
+        text = sql.explain(self.QUERY)
+        assert text.splitlines()[0] == \
+            "plan: factorised (code-native join with factorised (semiring) " \
+            "aggregates)"
+        block = sql.last_explain["factorised"]
+        assert (f"factorised aggregates: {block['partials']} semiring fold(s) "
+                f"over 2 group(s) instead of 4 enumerated tuple(s)") in text
+        # the join shape is still part of the report
+        assert "hash join: build o (4 rows, 4 buckets), " \
+               "probe c (8 rows), 1 equi key(s)" in text
+
+    def test_factorised_info_dict(self, sql):
+        sql.explain(self.QUERY)
+        block = sql.last_explain["factorised"]
+        assert block["kind"] == "join"
+        assert block["groups"] == 2
+        assert block["tuples"] == 4
+        assert block["partials"] >= 2
+        assert sql.last_explain["why_not_factorised"] == []
+
+    def test_enumerated_plans_report_why_not_factorised(self, sql):
+        text = sql.explain(TestJoinPlanExplain.QUERY)
+        assert text.splitlines()[0] == \
+            "plan: join (code-native hash join on dictionary codes)"
+        assert "why not factorised aggregates:" in text
+        assert "statement has no aggregates" in text
+
+
 class TestRowPlanExplain:
     def test_reports_reasons_for_both_paths(self, sql):
         text = sql.explain(

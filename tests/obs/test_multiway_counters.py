@@ -83,16 +83,56 @@ class TestCandidateHistogram:
         assert snapshot["total"] == 5
 
     def test_chunked_engine_spans_probe_and_fold(self, database, monkeypatch):
+        # grouped statements normally factorise; force the enumerated
+        # reference to keep the probe + fold spans covered
         monkeypatch.setenv("REPRO_PARALLEL_THRESHOLD", "0")
+        from repro.relational.sql import columnar
         from repro.relational.sql.engine import SQLEngine
 
+        monkeypatch.setattr(columnar, "FACTORISE", False)
         engine = SQLEngine(database, engine="serial")
-        engine.query("SELECT r.name, COUNT(*) AS n "
-                     "FROM orders o, zips z, regions r "
-                     "WHERE o.zip = z.zip AND z.region = r.region "
-                     "GROUP BY r.name")
+        engine.query(GROUPED_QUERY)
         assert engine.last_plan == "multiway"
         assert obs.counter("engine.multijoin.runs") == 1
         histograms = obs.metrics()["histograms"]
         assert histograms["span.sql.multiway.probe"]["count"] == 1
         assert histograms["span.sql.multiway.fold"]["count"] == 1
+
+
+GROUPED_QUERY = ("SELECT r.name, COUNT(*) AS n "
+                 "FROM orders o, zips z, regions r "
+                 "WHERE o.zip = z.zip AND z.region = r.region "
+                 "GROUP BY r.name")
+
+
+class TestFactorisedCounters:
+    def test_factorised_plan_counts_and_spans_the_fold(self, database,
+                                                      monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_THRESHOLD", "0")
+        from repro.relational.sql.engine import SQLEngine
+
+        engine = SQLEngine(database, engine="serial")
+        engine.query(GROUPED_QUERY)
+        assert engine.last_plan == "factorised"
+        assert obs.counter("sql.plan.factorised") == 1
+        # the factorised plan replaces the multiway one, not doubles it
+        assert obs.counter("sql.plan.multiway") == 0
+        assert obs.counter("engine.multijoin.runs") == 1
+        histograms = obs.metrics()["histograms"]
+        assert histograms["span.sql.factorised.fold"]["count"] == 1
+        partials = histograms["sql.factorised.partials"]
+        assert partials["count"] == 1
+        assert partials["total"] >= 1
+        # candidate counts still feed the shared histogram
+        assert obs.metrics()["histograms"]["sql.multiway.candidates"]["count"] == 2
+
+    def test_two_table_factorised_join_counts_and_observes_partials(self, database):
+        from repro.relational.sql.engine import SQLEngine
+
+        engine = SQLEngine(database)
+        engine.query("SELECT z.region, COUNT(*) AS n FROM orders o "
+                     "JOIN zips z ON o.zip = z.zip GROUP BY z.region")
+        assert engine.last_plan == "factorised"
+        assert obs.counter("sql.plan.factorised") == 1
+        assert obs.counter("sql.plan.join") == 0
+        assert obs.metrics()["histograms"]["sql.factorised.partials"]["count"] == 1

@@ -1,17 +1,18 @@
-"""Randomized parity: multiway (3+ table) joins are identical to the row path.
+"""Randomized parity: factorised (semiring) aggregates == enumerated plans.
 
-3+-table all-equi SELECT statements compile to leapfrog-style
-sorted-intersection joins over per-column rank arrays
-(``compile_multi_join_plan`` in ``repro.relational.sql.columnar``): the
-equi-join graph resolves into join variables, participating columns are
-translated into a shared code space via chained dictionary bridges, and
-variables are bound one at a time by galloping intersection.  These
-tests generate random 3- and 4-table databases and random join queries —
-chain, star and triangle shapes, WHERE push-down on every table, grouped
-aggregates drawing from all sides, HAVING, ORDER BY, DISTINCT, LIMIT —
-and assert results are *identical* across the row path, the in-process
-code path, the chunked serial pool and real process pools, for every
-chunk size, with interleaved mutations on every relation between
+Grouped statements whose aggregates all fold through a semiring
+(COUNT / COUNT DISTINCT / MIN / MAX, and SUM / AVG over exact integer or
+boolean values) skip tuple enumeration entirely: the join engines fold
+per-table partial aggregates per join-variable binding and combine them
+by semiring multiplication (``factorise_plan`` in
+``repro.relational.sql.columnar``).  These tests generate random
+databases and random *factorisable* grouped queries over two-table hash
+joins and chain / star / triangle multiway shapes — NULL join keys,
+``NO_PARTNER`` bridge entries, WHERE push-down, HAVING, ORDER BY,
+LIMIT — and assert the factorised results are byte-identical to the
+enumerated plans (forced via ``columnar.FACTORISE = False``) and to the
+row-at-a-time reference, across the serial chunked pool, every chunk
+size, and real process pools, with interleaved mutations between
 queries.
 """
 
@@ -22,6 +23,7 @@ import pytest
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.sql import columnar
 from repro.relational.sql.engine import SQLEngine
 from repro.relational.types import NULL, AttributeType
 
@@ -148,8 +150,10 @@ def random_where(rng, aliases) -> str:
     return " AND ".join(rng.choice(pool)() for _ in range(rng.randrange(1, 3)))
 
 
-#: join shape -> (FROM tables, equi conjuncts, participating aliases)
+#: join shape -> (FROM tables, equi conjuncts, participating aliases);
+#: "pair" exercises the two-table hash-join plan, the rest the multiway one
 SHAPES = {
+    "pair": ("orders o, zips z", ["o.zip = z.zip"], "oz"),
     "chain": ("orders o, zips z, regions r",
               ["o.zip = z.zip", "z.region = r.region"], "ozr"),
     "star": ("orders o, zips z, cities c",
@@ -157,55 +161,44 @@ SHAPES = {
     "triangle": ("orders o, zips z, regions r",
                  ["o.zip = z.zip", "z.region = r.region",
                   "r.country = o.country"], "ozr"),
-    "four": ("orders o, zips z, regions r, cities c",
-             ["o.zip = z.zip", "z.region = r.region", "o.city = c.city"],
-             "ozrc"),
 }
 
-#: projectable columns per alias, all with distinct output names
-PROJECTIONS = {
-    "o": ["o.city", "o.zip", "o.amount", "o.score"],
+#: group-key columns per alias, all with distinct output names
+GROUP_KEYS = {
+    "o": ["o.city", "o.zip", "o.amount"],
     "z": ["z.region", "z.pop"],
-    "r": ["r.country", "r.gdp"],
+    "r": ["r.country"],
     "c": ["c.mayor", "c.size"],
 }
 
-AGGREGATES = [
-    "COUNT(*) AS n", "COUNT(o.amount) AS cnt", "MIN(o.amount) AS lo",
-    "MAX(z.pop) AS hi", "SUM(z.pop) AS s", "AVG(o.score) AS a",
-    "COUNT(DISTINCT o.city) AS d",
+#: every aggregate here folds exactly through the semiring: COUNT /
+#: COUNT DISTINCT / MIN / MAX over anything, SUM / AVG over integers
+#: only (float folds stay on the enumerated plans)
+FOLDABLE_AGGREGATES = [
+    "COUNT(*) AS n", "COUNT(o.amount) AS cnt", "COUNT(z.pop) AS zcnt",
+    "COUNT(DISTINCT o.city) AS d", "MIN(o.amount) AS lo",
+    "MAX(o.amount) AS olhi", "MAX(z.pop) AS hi", "MIN(o.city) AS first_city",
+    "SUM(z.pop) AS s", "SUM(o.amount) AS os", "SUM(DISTINCT o.amount) AS ds",
+    "AVG(o.amount) AS oa", "AVG(z.pop) AS za",
 ]
 
 
-def random_multiway_query(rng, shape=None) -> str:
+def random_factorised_query(rng, shape=None) -> str:
+    """A grouped query whose aggregates all fold through the semiring."""
     tables, conjuncts, aliases = SHAPES[shape or rng.choice(list(SHAPES))]
     where = list(conjuncts)
     if rng.random() < 0.7:
         where.append(random_where(rng, aliases))
-    where_clause = " WHERE " + " AND ".join(where)
-    if rng.random() < 0.5:  # grouped
-        group = rng.choice([PROJECTIONS[a][0] for a in aliases] +
-                           [f"{PROJECTIONS[aliases[0]][0]}, "
-                            f"{PROJECTIONS[aliases[1]][0]}"])
-        names = [ref.split(".")[1] for ref in group.split(", ")]
-        aggregates = rng.sample(AGGREGATES, rng.randrange(1, 4))
-        select = ", ".join([group] + aggregates)
-        having = " HAVING COUNT(*) > 1" if rng.random() < 0.3 else ""
-        order = f" ORDER BY {names[0]}" if rng.random() < 0.5 else ""
-        limit = f" LIMIT {rng.randrange(1, 8)}" if rng.random() < 0.3 else ""
-        return (f"SELECT {select} FROM {tables}{where_clause} "
-                f"GROUP BY {group}{having}{order}{limit}")
-    distinct = "DISTINCT " if rng.random() < 0.3 else ""
-    pool = [column for alias in aliases for column in PROJECTIONS[alias]]
-    columns = rng.sample(pool, rng.randrange(1, 5))
-    order = ""
-    if rng.random() < 0.6:
-        keys = rng.sample(columns, rng.randrange(1, len(columns) + 1))
-        order = " ORDER BY " + ", ".join(
-            f"{key.split('.')[1]}{rng.choice(['', ' DESC'])}" for key in keys)
-    limit = f" LIMIT {rng.randrange(1, 12)}" if rng.random() < 0.4 else ""
-    return (f"SELECT {distinct}{', '.join(columns)} FROM {tables}"
-            f"{where_clause}{order}{limit}")
+    keys = rng.sample([key for alias in aliases for key in GROUP_KEYS[alias]],
+                      rng.randrange(1, 3))
+    names = [ref.split(".")[1] for ref in keys]
+    aggregates = rng.sample(FOLDABLE_AGGREGATES, rng.randrange(1, 5))
+    having = " HAVING COUNT(*) > 1" if rng.random() < 0.3 else ""
+    order = f" ORDER BY {names[0]}" if rng.random() < 0.5 else ""
+    limit = f" LIMIT {rng.randrange(1, 8)}" if rng.random() < 0.3 else ""
+    return (f"SELECT {', '.join(keys + aggregates)} FROM {tables} "
+            f"WHERE {' AND '.join(where)} "
+            f"GROUP BY {', '.join(names)}{having}{order}{limit}")
 
 
 def fingerprint(result: Relation):
@@ -214,49 +207,84 @@ def fingerprint(result: Relation):
             [t.values for t in result])
 
 
-def assert_engines_agree(reference: SQLEngine, others: list[SQLEngine], sql: str) -> None:
-    expected = fingerprint(reference.query(sql))
-    assert reference.last_plan == "row"
-    for engine in others:
-        assert fingerprint(engine.query(sql)) == expected, sql
+def enumerated_fingerprint(engine: SQLEngine, sql: str):
+    """Run *sql* with factorisation disabled (the enumerated reference)."""
+    saved = columnar.FACTORISE
+    columnar.FACTORISE = False
+    try:
+        return fingerprint(engine.query(sql))
+    finally:
+        columnar.FACTORISE = saved
 
 
-class TestRandomizedMultiwayParity:
+class TestRandomizedFactorisedParity:
     @pytest.mark.parametrize("seed", range(6))
-    def test_multiway_matches_row_path(self, seed):
-        rng = random.Random(4000 + seed)
+    def test_factorised_matches_enumerated_and_row(self, seed):
+        rng = random.Random(9000 + seed)
         database = random_database(seed)
         row = SQLEngine(database, use_columns=False)
         code = SQLEngine(database)
         serial = SQLEngine(database, engine="serial")
-        multiway = 0
+        factorised = 0
         for _ in range(16):
-            assert_engines_agree(row, [code, serial], random_multiway_query(rng))
-            # grouped statements with exact-foldable aggregates factorise;
-            # everything else enumerates on the multiway plan
-            multiway += code.last_plan in ("multiway", "factorised")
+            sql = random_factorised_query(rng)
+            expected = fingerprint(row.query(sql))
+            assert enumerated_fingerprint(code, sql) == expected, sql
+            assert code.last_plan in ("join", "multiway"), sql
+            assert fingerprint(code.query(sql)) == expected, sql
+            assert fingerprint(serial.query(sql)) == expected, sql
+            factorised += code.last_plan == "factorised"
             mutate(database, rng)
-        assert multiway > 12  # most random queries must hit the multiway plans
+        # every generated query is grouped with foldable aggregates: the
+        # only escape hatch is a compile failure to the row path
+        assert factorised > 12
 
     @pytest.mark.parametrize("shape", sorted(SHAPES))
-    def test_every_shape_compiles_to_multiway(self, shape):
+    def test_every_shape_factorises(self, shape):
         rng = random.Random(hash(shape) % 10_000)
         database = random_database(7)
         row = SQLEngine(database, use_columns=False)
         code = SQLEngine(database)
         for _ in range(6):
-            sql = random_multiway_query(rng, shape)
-            assert_engines_agree(row, [code], sql)
-            assert code.last_plan in ("multiway", "factorised"), sql
+            sql = random_factorised_query(rng, shape)
+            expected = fingerprint(row.query(sql))
+            assert fingerprint(code.query(sql)) == expected, sql
+            assert code.last_plan == "factorised", sql
             mutate(database, rng)
 
-    def test_zero_exec_rows_on_the_multiway_path(self):
+    def test_null_and_no_partner_keys_fold_identically(self):
+        # every orders.zip is NULL or missing from zips: the factorised
+        # fold must agree with the enumerated plan on the empty join and
+        # on the half-empty one after a repair
+        database = Database()
+        database.add(Relation.from_rows(ORDERS, [
+            ("edi", NULL, "UK", 5, 1.0), ("nyc", "XXXX", "US", 7, 2.0),
+            ("sfo", "YYYY", "US", NULL, 3.0)]))
+        database.add(Relation.from_rows(ZIPS, [
+            ("10012", "us", 100), ("94107", "us", NULL)]))
+        row = SQLEngine(database, use_columns=False)
+        code = SQLEngine(database)
+        sql = ("SELECT z.region, COUNT(*) AS n, SUM(o.amount) AS s, "
+               "MIN(o.city) AS lo FROM orders o JOIN zips z "
+               "ON o.zip = z.zip GROUP BY region")
+        expected = fingerprint(row.query(sql))
+        assert fingerprint(code.query(sql)) == expected
+        assert code.last_plan == "factorised"
+        assert enumerated_fingerprint(code, sql) == expected
+        database.relation("orders").update(1, "zip", "10012")
+        database.relation("orders").update(2, "zip", "94107")
+        expected = fingerprint(row.query(sql))
+        assert fingerprint(code.query(sql)) == expected
+        assert enumerated_fingerprint(code, sql) == expected
+
+    def test_zero_exec_rows_on_the_factorised_path(self):
         from repro.relational.sql import executor as executor_module
 
         database = random_database(11)
         code = SQLEngine(database)
         row = SQLEngine(database, use_columns=False)
-        sql = ("SELECT o.city, COUNT(*) AS n, SUM(z.pop) AS s, AVG(o.score) AS a "
+        sql = ("SELECT o.city, COUNT(*) AS n, SUM(z.pop) AS s, "
+               "AVG(o.amount) AS a, COUNT(DISTINCT z.region) AS d "
                "FROM orders o, zips z, regions r "
                "WHERE o.zip = z.zip AND z.region = r.region "
                "AND o.amount BETWEEN 5 AND 90 AND z.region IN ('uk', 'us') "
@@ -267,22 +295,24 @@ class TestRandomizedMultiwayParity:
             result = code.query(sql)
         finally:
             executor_module._exec_row_hook = None
-        assert code.last_plan == "multiway"
+        assert code.last_plan == "factorised"
         assert not built  # zero _ExecRow allocations end to end
         assert fingerprint(result) == fingerprint(row.query(sql))
 
-    def test_parallel_multiway_across_real_processes(self, monkeypatch):
+    def test_parallel_factorised_across_real_processes(self, monkeypatch):
         monkeypatch.setenv("REPRO_PARALLEL_THRESHOLD", "0")
-        rng = random.Random(888)
-        database = random_database(888, orders=40, zips=20, regions=12, cities=15)
+        rng = random.Random(777)
+        database = random_database(777, orders=40, zips=20, regions=12, cities=15)
         row = SQLEngine(database, use_columns=False)
         parallel = SQLEngine(database, engine="parallel", workers=2)
         for _ in range(8):
-            assert_engines_agree(row, [parallel], random_multiway_query(rng))
+            sql = random_factorised_query(rng)
+            expected = fingerprint(row.query(sql))
+            assert fingerprint(parallel.query(sql)) == expected, sql
             mutate(database, rng)
 
     @pytest.mark.parametrize("chunks", [1, 2, 7, 1000])
-    def test_multiway_chunk_boundaries_are_invisible(self, chunks):
+    def test_factorised_chunk_boundaries_are_invisible(self, chunks):
         from repro.engine.executor import SerialPool
         from repro.relational.sql.executor import SQLExecutor
         from repro.relational.sql.parser import parse_sql
@@ -292,86 +322,44 @@ class TestRandomizedMultiwayParity:
         executor = SQLExecutor(database, pool=SerialPool(num_chunks=chunks))
         rng = random.Random(66)
         for _ in range(10):
-            sql = random_multiway_query(rng)
+            sql = random_factorised_query(rng)
             expected = fingerprint(row.query(sql))
             assert fingerprint(executor.execute(parse_sql(sql))) == expected, sql
 
 
-class TestMultiwayPlanShape:
-    def test_residual_predicates_fall_back_with_parity_and_reason(self):
+class TestFactorisedPlanGate:
+    def test_float_aggregates_stay_enumerated_with_reason(self):
         database = random_database(3)
-        row = SQLEngine(database, use_columns=False)
         code = SQLEngine(database)
-        sql = ("SELECT o.city, z.region, r.country FROM orders o, zips z, regions r "
-               "WHERE o.zip = z.zip AND z.region = r.region "
-               "AND LENGTH(o.city) >= 3 ORDER BY city, region, country")
-        assert fingerprint(code.query(sql)) == fingerprint(row.query(sql))
-        assert code.last_plan == "row"
+        sql = ("SELECT o.city, AVG(o.score) AS a FROM orders o "
+               "JOIN zips z ON o.zip = z.zip GROUP BY city")
         code.query(sql, explain=True)
-        reasons = code.last_explain["why_not_multiway"]
-        assert any("neither an equi key" in reason for reason in reasons)
+        assert code.last_plan == "join"
+        reasons = code.last_explain["why_not_factorised"]
+        assert any("fold order" in reason for reason in reasons)
 
-    def test_disconnected_join_graph_reports_cross_product(self):
-        database = random_database(4)
+    def test_ungrouped_statements_stay_enumerated_with_reason(self):
+        database = random_database(3)
         code = SQLEngine(database)
-        sql = ("SELECT o.city, z.region, c.mayor FROM orders o, zips z, cities c "
-               "WHERE o.zip = z.zip")
+        sql = ("SELECT o.city, z.region FROM orders o "
+               "JOIN zips z ON o.zip = z.zip")
         code.query(sql, explain=True)
-        assert code.last_plan == "row"
-        reasons = code.last_explain["why_not_multiway"]
-        assert any("cross product" in reason for reason in reasons)
+        assert code.last_plan == "join"
+        reasons = code.last_explain["why_not_factorised"]
+        assert any("no aggregates" in reason for reason in reasons)
 
-    def test_explain_reports_variable_order_and_candidates(self):
+    def test_explain_reports_folds_vs_enumerated_tuples(self):
         database = random_database(5)
         code = SQLEngine(database)
-        sql = ("SELECT o.city, r.gdp FROM orders o, zips z, regions r "
-               "WHERE o.zip = z.zip AND z.region = r.region")
-        code.query(sql, explain=True)
-        assert code.last_plan == "multiway"
-        block = code.last_explain["multiway"]
-        assert block["tables"] == ["o", "z", "r"]
-        assert len(block["order"]) == 2
-        members = {frozenset(entry["members"]) for entry in block["order"]}
-        assert frozenset(("o.zip", "z.zip")) in members
-        assert frozenset(("z.region", "r.region")) in members
-        for entry in block["order"]:
-            assert entry["estimate"] >= 0
-            assert entry["candidates"] >= 0
+        sql = ("SELECT o.city, COUNT(*) AS n, SUM(z.pop) AS s "
+               "FROM orders o, zips z, regions r "
+               "WHERE o.zip = z.zip AND z.region = r.region GROUP BY city")
         report = code.explain(sql)
-        assert "plan: multiway" in report
-        assert "variable order:" in report
-
-    def test_fd_hints_promote_implied_variables(self):
-        from repro.constraints.fd import FunctionalDependency
-
-        database = random_database(6)
-        # region -> zip on zips: the region variable binds first (fewest
-        # distinct values), after which the zip variable is FD-implied and
-        # should be flagged in the recorded order
-        hints = [FunctionalDependency("zips", ["region"], ["zip"])]
-        plain = SQLEngine(database)
-        hinted = SQLEngine(database, fds=hints)
-        sql = ("SELECT o.city, r.gdp FROM orders o, zips z, regions r "
-               "WHERE o.zip = z.zip AND z.region = r.region")
-        plain.query(sql, explain=True)
-        hinted.query(sql, explain=True)
-        assert hinted.last_plan == plain.last_plan == "multiway"
-        hinted_order = hinted.last_explain["multiway"]["order"]
-        implied = [entry for entry in hinted_order if entry["fd_implied"]]
-        assert len(implied) == 1
-        assert frozenset(implied[0]["members"]) == frozenset(
-            ("o.zip", "z.zip"))
-        # the hint only reorders; results stay identical
-        assert fingerprint(hinted.query(sql)) == fingerprint(plain.query(sql))
-
-    def test_session_variable_cfds_feed_multiway_ordering(self):
-        from repro.semandaq.session import SemandaqSession
-
-        database = random_database(9)
-        session = SemandaqSession(database)
-        session.register_cfds("zips([region] -> [zip])")
-        result, report = session.sql(
-            "SELECT o.city, r.gdp FROM orders o, zips z, regions r "
-            "WHERE o.zip = z.zip AND z.region = r.region", explain=True)
-        assert "plan: multiway" in report
-        assert "fd-implied" in report
+        assert code.last_plan == "factorised"
+        assert "plan: factorised" in report
+        assert "factorised aggregates:" in report
+        assert "semiring fold(s)" in report
+        block = code.last_explain["factorised"]
+        assert block["kind"] == "multiway"
+        assert block["partials"] >= block["groups"] >= 1
+        assert block["tuples"] >= block["groups"]

@@ -171,9 +171,11 @@ class TestRandomizedJoinParity:
         joined = 0
         for _ in range(20):
             assert_engines_agree(row, [code, serial], random_join_query(rng))
-            joined += code.last_plan == "join"
+            # grouped statements with exact-foldable aggregates factorise;
+            # everything else enumerates on the hash-join plan
+            joined += code.last_plan in ("join", "factorised")
             mutate(database, rng)
-        assert joined > 10  # most random queries must hit the join plan
+        assert joined > 10  # most random queries must hit the join plans
 
     def test_residual_join_predicates_fall_back_with_parity(self):
         database = random_database(3)

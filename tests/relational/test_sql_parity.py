@@ -205,3 +205,97 @@ class TestRandomizedParity:
             expected = fingerprint(row.query(sql))
             statement = parse_sql(sql)
             assert fingerprint(executor.execute(statement)) == expected, sql
+
+
+class TestAggregateEdgeCases:
+    """Pin grouped-aggregate corners to the row-path semantics."""
+
+    def _database(self, rows):
+        database = Database()
+        database.add(Relation.from_rows(SCHEMA, rows))
+        return database
+
+    def test_avg_over_all_null_group_is_null(self):
+        database = self._database([
+            ("edi", "EH8", NULL, NULL), ("edi", "EH8", NULL, NULL),
+            ("nyc", "10012", 4, 2.0), ("nyc", "10012", 6, NULL)])
+        row = SQLEngine(database, use_columns=False)
+        code = SQLEngine(database)
+        sql = ("SELECT city, AVG(amount) AS a, AVG(score) AS sc, "
+               "COUNT(amount) AS n FROM t GROUP BY city ORDER BY city")
+        expected = fingerprint(row.query(sql))
+        assert fingerprint(code.query(sql)) == expected
+        assert code.last_plan == "code"
+        # the edi group aggregates zero non-NULL values: AVG is NULL, not 0/0
+        names, _, rows = fingerprint(code.query(sql))
+        edi = dict(zip(names, rows[0]))
+        assert edi["a"] is NULL and edi["sc"] is NULL and edi["n"] == 0
+
+    def test_sum_over_group_emptied_by_having_disappears(self):
+        database = self._database([
+            ("edi", "EH8", NULL, 1.0), ("nyc", "10012", 4, 2.0),
+            ("nyc", "10012", 6, 3.0)])
+        row = SQLEngine(database, use_columns=False)
+        code = SQLEngine(database)
+        # edi's SUM(amount) folds zero values -> NULL; HAVING drops it
+        sql = ("SELECT city, SUM(amount) AS s FROM t GROUP BY city "
+               "HAVING SUM(amount) > 0 ORDER BY city")
+        expected = fingerprint(row.query(sql))
+        assert fingerprint(code.query(sql)) == expected
+        names, _, rows = fingerprint(code.query(sql))
+        assert [r[0] for r in rows] == ["nyc"]
+        # without HAVING the all-NULL group surfaces with a NULL sum
+        bare = "SELECT city, SUM(amount) AS s FROM t GROUP BY city ORDER BY city"
+        assert fingerprint(code.query(bare)) == fingerprint(row.query(bare))
+        assert fingerprint(code.query(bare))[2][0] == ("edi", NULL)
+
+
+class TestOrderByLimitTopK:
+    """ORDER BY ... LIMIT k on plain scans runs as a top-k heap selection."""
+
+    @pytest.mark.parametrize("order, limit", [
+        ("amount", 5), ("amount DESC", 5), ("city, amount DESC", 7),
+        ("score DESC, zip", 1), ("amount", 0),
+    ])
+    def test_top_k_matches_full_sort(self, order, limit):
+        database = Database()
+        database.add(random_relation(52, size=90))
+        row = SQLEngine(database, use_columns=False)
+        code = SQLEngine(database)
+        sql = f"SELECT city, zip, amount, score FROM t ORDER BY {order} LIMIT {limit}"
+        assert fingerprint(code.query(sql)) == fingerprint(row.query(sql))
+        assert code.last_plan == "code"
+
+    def test_explain_records_the_heap_selection(self):
+        database = Database()
+        database.add(random_relation(52, size=90))
+        code = SQLEngine(database)
+        report = code.explain("SELECT city FROM t ORDER BY city LIMIT 3")
+        rows_in = len(database.relation("t").tids())
+        assert code.last_explain["order"] == {"top_k": 3, "rows_in": rows_in}
+        assert f"order by: top-3 heap selection on rank tuples over " \
+               f"{rows_in} rows (LIMIT push-down)" in report
+
+    def test_limit_at_or_past_row_count_sorts_fully(self):
+        database = Database()
+        database.add(random_relation(52, size=20))
+        row = SQLEngine(database, use_columns=False)
+        code = SQLEngine(database)
+        sql = "SELECT city, amount FROM t ORDER BY amount LIMIT 1000"
+        assert fingerprint(code.query(sql)) == fingerprint(row.query(sql))
+        code.query(sql, explain=True)
+        assert code.last_explain.get("order") is None  # no pruning to report
+
+    def test_top_k_survives_where_and_mutations(self):
+        database = Database()
+        database.add(random_relation(14, size=60))
+        relation = database.relation("t")
+        row = SQLEngine(database, use_columns=False)
+        code = SQLEngine(database)
+        rng = random.Random(14)
+        sql = ("SELECT city, amount FROM t WHERE amount >= 10 "
+               "ORDER BY amount DESC, city LIMIT 6")
+        for _ in range(5):
+            assert fingerprint(code.query(sql)) == fingerprint(row.query(sql))
+            assert code.last_plan == "code"
+            mutate(relation, rng)
